@@ -1,0 +1,18 @@
+"""Figure 1: time to fill a disk grows ~10x over fifteen years."""
+
+from conftest import run_experiment
+
+
+def test_fig1_disk_fill_trend(benchmark, repro_scale):
+    table = run_experiment(benchmark, "fig1", repro_scale)
+    minutes = table.column("fill_minutes")
+    years = table.column("year")
+    # Strictly growing fill time across eras.
+    assert all(b > a for a, b in zip(minutes, minutes[1:]))
+    # Roughly tenfold over the last fifteen years of the series.
+    i1990 = years.index(1990)
+    assert minutes[-1] / minutes[i1990] > 5.0
+    # The underlying trend: capacity outgrew bandwidth.
+    caps = table.column("capacity_gb")
+    bws = table.column("bandwidth_mbps")
+    assert caps[-1] / caps[0] > 100 * (bws[-1] / bws[0]) / 10

@@ -1,0 +1,19 @@
+"""Figure 3: parity-locking overhead under stripe sharing (~20%)."""
+
+from conftest import run_experiment
+
+
+def test_fig3_locking_overhead(benchmark, repro_scale):
+    table = run_experiment(benchmark, "fig3", repro_scale)
+    raid0 = table.cell("RAID0", "bandwidth_mbps")
+    nolock = table.cell("R5 NO LOCK", "bandwidth_mbps")
+    raid5 = table.cell("RAID5", "bandwidth_mbps")
+    # RAID5's read-modify-write traffic makes the parity server a hot
+    # spot: both RAID5 variants sit far below plain striping.
+    assert raid0 > 2 * nolock
+    # Locking costs on top of that — the paper measures about 20%.
+    overhead = (nolock - raid5) / nolock
+    assert 0.10 < overhead < 0.35
+    # Only the locking configuration accumulates lock wait time.
+    assert table.cell("RAID5", "lock_wait_s") > 0
+    assert table.cell("R5 NO LOCK", "lock_wait_s") == 0

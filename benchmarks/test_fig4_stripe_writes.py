@@ -1,0 +1,47 @@
+"""Figure 4: full-stripe and small-write bandwidth vs I/O server count."""
+
+import pytest
+
+from conftest import run_experiment
+
+
+def test_fig4a_full_stripe_writes(benchmark, repro_scale):
+    table = run_experiment(benchmark, "fig4a", repro_scale)
+
+    raid0 = {n: table.cell(n, "raid0") for n in (1, 2, 4, 6, 7)}
+    raid1 = {n: table.cell(n, "raid1") for n in (1, 2, 4, 6, 7)}
+    raid5 = {n: table.cell(n, "raid5") for n in (2, 4, 6, 7)}
+    npc = {n: table.cell(n, "raid5_npc") for n in (4, 6, 7)}
+    hybrid = {n: table.cell(n, "hybrid") for n in (4, 6, 7)}
+
+    # Striping scales with server count until the client link saturates.
+    assert raid0[6] > 3 * raid0[1]
+    # RAID1 writes 2x the bytes: roughly half of RAID0 throughout, and the
+    # worst scheme at every width.
+    for n in (2, 4, 6):
+        assert raid1[n] == pytest.approx(raid0[n] / 2, rel=0.15)
+        if n >= 4:
+            assert raid1[n] < raid5[n] < raid0[n]
+    # Hybrid behaves exactly like RAID5 on this all-full-stripe workload.
+    for n in (4, 6, 7):
+        assert hybrid[n] == pytest.approx(raid5[n], rel=0.02)
+    # Parity computation costs a few percent (paper: ~8%).
+    for n in (6, 7):
+        gain = (npc[n] - raid5[n]) / raid5[n]
+        assert 0.02 < gain < 0.15
+    # The paper's headline: RAID5/CSAR delivers ~73% of PVFS at 7 iods.
+    assert 0.65 < raid5[7] / raid0[7] < 0.95
+
+
+def test_fig4b_small_writes(benchmark, repro_scale):
+    table = run_experiment(benchmark, "fig4b", repro_scale)
+    for n in (3, 4, 5, 6, 7):
+        raid1 = table.cell(n, "raid1")
+        raid5 = table.cell(n, "raid5")
+        hybrid = table.cell(n, "hybrid")
+        # RAID1 and Hybrid are indistinguishable: two block writes, no
+        # reads, no locks.
+        assert hybrid == pytest.approx(raid1, rel=0.02)
+        # RAID5 pays the read-modify-write round trip even with the old
+        # data and parity warm in the server caches.
+        assert raid5 < 0.7 * raid1

@@ -1,0 +1,25 @@
+"""Figure 5: ROMIO perf — reads equal everywhere, writes favour parity."""
+
+import pytest
+
+from conftest import run_experiment
+
+
+def test_fig5a_reads_identical_across_schemes(benchmark, repro_scale):
+    table = run_experiment(benchmark, "fig5a", repro_scale)
+    for row in table.rows:
+        _clients, raid0, raid1, raid5, hybrid = row
+        # Redundancy is never read: every scheme reads at RAID0 speed.
+        for value in (raid1, raid5, hybrid):
+            assert value == pytest.approx(raid0, rel=0.02)
+
+
+def test_fig5b_large_writes_favour_parity_schemes(benchmark, repro_scale):
+    table = run_experiment(benchmark, "fig5b", repro_scale)
+    for row in table.rows:
+        clients, raid0, raid1, raid5, hybrid = row
+        # 4 MB writes: parity overhead (1/5) beats mirroring (1/1).
+        assert raid5 > 1.2 * raid1
+        assert hybrid > 1.2 * raid1
+        assert raid0 > raid5
+        del clients

@@ -1,0 +1,33 @@
+"""Figure 6: BTIO Class B — lock contention and cold-cache RMW."""
+
+from conftest import run_experiment
+
+
+def test_fig6a_initial_write(benchmark, repro_scale):
+    table = run_experiment(benchmark, "fig6a", repro_scale)
+    for procs in (4, 9, 16, 25):
+        raid1 = table.cell(procs, "raid1")
+        raid5 = table.cell(procs, "raid5")
+        hybrid = table.cell(procs, "hybrid")
+        # RAID1's doubled bytes make it the worst scheme throughout.
+        assert raid1 < 0.75 * raid5
+        assert raid1 < 0.75 * hybrid
+    # RAID5 and Hybrid are comparable at low process counts...
+    assert table.cell(4, "raid5") > 0.85 * table.cell(4, "hybrid")
+    # ...but RAID5 falls behind as unaligned writers multiply (the paper
+    # attributes the 25-process drop to parity-lock synchronization).
+    assert table.cell(25, "raid5") < table.cell(25, "hybrid")
+    assert table.cell(25, "raid5") < 0.92 * table.cell(4, "raid5")
+
+
+def test_fig6b_overwrite(benchmark, repro_scale):
+    table = run_experiment(benchmark, "fig6b", repro_scale)
+    # Cold caches turn every partial-stripe write into disk reads:
+    # RAID5 collapses as process count (and partial-stripe count) grows,
+    # ending below even RAID1; Hybrid never read-modifies-writes.
+    assert table.cell(25, "raid5") < 0.55 * table.cell(4, "raid5")
+    assert table.cell(25, "raid5") < 1.1 * table.cell(25, "raid1")
+    for procs in (16, 25):
+        assert table.cell(procs, "hybrid") > 1.5 * table.cell(procs, "raid5")
+    # The other schemes only lose a little (partial *block* effects).
+    assert table.cell(25, "hybrid") > 0.8 * table.cell(4, "hybrid")

@@ -1,0 +1,32 @@
+"""Figure 7: BTIO Class C — RAID1's 2x bytes overflow the server caches."""
+
+from conftest import run_experiment
+
+
+def test_fig7a_initial_write(benchmark, repro_scale):
+    table = run_experiment(benchmark, "fig7a", repro_scale)
+    for procs in (4, 9, 16, 25):
+        raid1 = table.cell(procs, "raid1")
+        raid5 = table.cell(procs, "raid5")
+        hybrid = table.cell(procs, "hybrid")
+        # Twice 6.6 GB does not fit the page caches: RAID1 throttles to
+        # disk speed, far below the parity schemes.
+        assert raid1 < 0.65 * raid5
+        assert raid1 < 0.85 * hybrid
+        # Hybrid stays in RAID5's neighbourhood.
+        assert hybrid > 0.55 * raid5
+
+
+def test_fig7b_overwrite(benchmark, repro_scale):
+    table = run_experiment(benchmark, "fig7b", repro_scale)
+    for procs in (16, 25):
+        raid1 = table.cell(procs, "raid1")
+        raid5 = table.cell(procs, "raid5")
+        hybrid = table.cell(procs, "hybrid")
+        # The paper: Hybrid ≈ 230% of both other schemes.  Our model
+        # reproduces the ordering (Hybrid best, both others degraded) at a
+        # smaller margin — Class C is drain-bound end to end here, which
+        # compresses the gap (see EXPERIMENTS.md).
+        assert hybrid >= 0.98 * raid5
+        assert hybrid > 1.5 * raid1
+        assert raid5 < 0.75 * table.cell(procs, "raid0")

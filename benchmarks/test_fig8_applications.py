@@ -1,0 +1,28 @@
+"""Figure 8: application output time normalized to RAID0."""
+
+import pytest
+
+from conftest import run_experiment
+
+
+def test_fig8_applications(benchmark, repro_scale):
+    table = run_experiment(benchmark, "fig8", repro_scale)
+    for row in table.rows:
+        app, raid0, raid1, raid5, hybrid = row
+        assert raid0 == pytest.approx(1.0)
+        # The paper's conclusion: Hybrid performs comparably to or better
+        # than the best of RAID1 and RAID5 for every application.
+        assert hybrid <= 1.15 * min(raid1, raid5)
+    # Hartree-Fock: the kernel-module overhead levels the schemes.
+    hf = {h: table.cell("HartreeFock", h)
+          for h in ("raid1", "raid5", "hybrid")}
+    assert max(hf.values()) < 1.3
+    assert hf["hybrid"] == pytest.approx(hf["raid1"], rel=0.05)
+    # Large-write apps: parity schemes beat mirroring clearly.
+    for app in ("Cactus", "BTIO-B"):
+        assert table.cell(app, "raid5") < 0.8 * table.cell(app, "raid1")
+        assert table.cell(app, "hybrid") < 0.8 * table.cell(app, "raid1")
+    # Small-write app: RAID5 is the worst scheme.
+    flash = {h: table.cell("FLASH", h)
+             for h in ("raid1", "raid5", "hybrid")}
+    assert flash["raid5"] == max(flash.values())

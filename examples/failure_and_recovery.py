@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Failure injection, degraded reads, full rebuild, and scrubbing — for
+each redundancy scheme, with real data verified byte for byte.
+
+Run:  python examples/failure_and_recovery.py
+"""
+
+from repro import CSARConfig, DataLoss, Payload, System
+from repro.redundancy.recovery import rebuild_server
+from repro.redundancy.scrub import scrub
+from repro.units import KiB
+
+
+def exercise(scheme: str) -> None:
+    system = System(CSARConfig(scheme=scheme, num_servers=6,
+                               stripe_unit=16 * KiB, content_mode=True))
+    client = system.client()
+    span = system.layout.group_span
+    pieces = [
+        (0, Payload.pattern(3 * span, seed=1)),          # full stripes
+        (3 * span + 123, Payload.pattern(10_000, seed=2)),  # small write
+        (span // 2, Payload.pattern(span, seed=3)),      # unaligned mix
+    ]
+    size = max(off + p.length for off, p in pieces)
+    expected = Payload.zeros(size)
+    for off, p in pieces:
+        expected = expected.overlay(off, p).slice(0, size)
+
+    def write_all():
+        yield from client.create("data")
+        for off, p in pieces:
+            yield from client.write("data", off, p)
+
+    system.run(write_all())
+
+    def read_all():
+        out = yield from client.read("data", 0, size)
+        return out
+
+    print(f"--- {scheme} ---")
+    system.fail_server(3)
+    try:
+        out = system.run(read_all())
+        ok = out == expected
+        print(f"  server 3 failed: degraded read "
+              f"{'verified' if ok else 'MISMATCH'}")
+    except DataLoss as err:
+        print(f"  server 3 failed: {err}")
+        return
+
+    elapsed, _ = system.timed(rebuild_server(system, 3))
+    issues = scrub(system, "data")
+    print(f"  rebuilt in {elapsed * 1000:.0f} ms simulated; "
+          f"scrub {'clean' if not issues else issues}")
+
+    # The acid test: a *different* server fails after the rebuild.
+    system.fail_server(0)
+    out = system.run(read_all())
+    print(f"  then server 0 failed: degraded read "
+          f"{'verified' if out == expected else 'MISMATCH'}")
+
+
+def main() -> None:
+    for scheme in ("raid0", "raid1", "raid5", "hybrid"):
+        exercise(scheme)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The paper's core idea, measured: Hybrid tracks the best scheme at
+every write size.
+
+Sweeps write sizes from one block to many stripes and prints the write
+bandwidth of RAID1, RAID5 and Hybrid (plus RAID0 as the ceiling).  Small
+writes: RAID5 pays the read-modify-write; large writes: RAID1 pays 2x
+bytes; Hybrid switches per write and follows the winner.
+
+Run:  python examples/scheme_tradeoffs.py
+"""
+
+from repro import CSARConfig, Payload, System
+from repro.units import KiB, MB, fmt_bytes
+
+SCHEMES = ("raid0", "raid1", "raid5", "hybrid")
+SIZES = [16 * KiB, 64 * KiB, 320 * KiB, 1280 * KiB, 5 * 1280 * KiB]
+
+
+def bandwidth(scheme: str, write_size: int, total: int = 24 * MB) -> float:
+    system = System(CSARConfig(scheme=scheme, num_servers=6,
+                               stripe_unit=64 * KiB, content_mode=False))
+    client = system.client()
+    count = max(1, total // write_size)
+
+    def workload():
+        yield from client.create("sweep")
+        for i in range(count):
+            yield from client.write("sweep", i * write_size,
+                                    Payload.virtual(write_size))
+
+    elapsed, _ = system.timed(workload())
+    return count * write_size / elapsed / 1e6
+
+
+def main() -> None:
+    print(f"{'write size':>12}  " + "".join(f"{s:>8}" for s in SCHEMES)
+          + "   winner(excl. raid0)")
+    for size in SIZES:
+        values = {s: bandwidth(s, size) for s in SCHEMES}
+        redundant = {s: v for s, v in values.items() if s != "raid0"}
+        winner = max(redundant, key=redundant.get)
+        row = "".join(f"{values[s]:8.1f}" for s in SCHEMES)
+        print(f"{fmt_bytes(size):>12}  {row}   {winner}")
+    print("\n(64 KiB stripe unit, 6 I/O servers: one stripe = 320 KiB; "
+          "Hybrid matches RAID1 below it and RAID5 above it)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""CSAR — Cluster Storage with Adaptive Redundancy (reproduction).
+
+A faithful reimplementation of the system from *"A High Performance
+Redundancy Scheme for Cluster File Systems"* (Pillai & Lauria, IEEE
+CLUSTER 2003): a PVFS-like striped cluster file system extended with
+RAID1, RAID5 and the paper's Hybrid redundancy scheme, running on a
+calibrated discrete-event model of the paper's testbeds.
+
+Quickstart::
+
+    from repro import CSARConfig, System, Payload
+
+    system = System(CSARConfig(scheme="hybrid", num_servers=6))
+    client = system.client()
+
+    def work():
+        yield from client.create("demo")
+        yield from client.write("demo", 0, Payload.pattern(1 << 20, seed=1))
+        data = yield from client.read("demo", 0, 1 << 20)
+        return data
+
+    elapsed, data = system.timed(work())
+"""
+
+from repro.csar.config import CSARConfig
+from repro.csar.system import System
+from repro.errors import (
+    ConfigError,
+    DataLoss,
+    FileExists,
+    FileNotFound,
+    ReproError,
+    ServerFailed,
+)
+from repro.hw.params import PROFILES, HardwareProfile, get_profile
+from repro.metrics import Metrics
+from repro.pvfs.layout import StripeLayout
+from repro.redundancy.base import SCHEMES, make_scheme
+from repro.storage.payload import Payload
+from repro.units import GiB, KiB, MiB
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSARConfig",
+    "System",
+    "Payload",
+    "Metrics",
+    "StripeLayout",
+    "HardwareProfile",
+    "PROFILES",
+    "get_profile",
+    "SCHEMES",
+    "make_scheme",
+    "ReproError",
+    "ConfigError",
+    "DataLoss",
+    "FileExists",
+    "FileNotFound",
+    "ServerFailed",
+    "KiB",
+    "MiB",
+    "GiB",
+    "__version__",
+]

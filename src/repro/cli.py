@@ -1,0 +1,98 @@
+"""Command-line front end: list and run the paper's experiments.
+
+::
+
+    csar-repro list
+    csar-repro run fig3
+    csar-repro run fig6a --scale 0.1
+    csar-repro run all --scale 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.experiments import REGISTRY, get_experiment
+from repro.experiments.base import list_experiments
+
+
+def _cmd_list() -> int:
+    width = max(len(e.id) for e in list_experiments())
+    for exp in list_experiments():
+        print(f"{exp.id.ljust(width)}  {exp.title} "
+              f"(default scale {exp.default_scale:g})")
+    return 0
+
+
+def _cmd_run(ids: List[str], scale: Optional[float],
+             csv_dir: Optional[str] = None, chart: bool = False) -> int:
+    if ids == ["all"]:
+        ids = sorted(REGISTRY)
+    status = 0
+    for exp_id in ids:
+        try:
+            exp = get_experiment(exp_id)
+        except ConfigError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        effective = exp.default_scale if scale is None else scale
+        t0 = time.time()
+        table = exp.run(scale=effective)
+        wall = time.time() - t0
+        print(table.format())
+        if chart:
+            from repro.util.charts import chart_table
+            print()
+            print(chart_table(table))
+        print(f"(scale {effective:g}, {wall:.1f}s wall)\n")
+        if csv_dir is not None:
+            import os
+            os.makedirs(csv_dir, exist_ok=True)
+            out_path = os.path.join(csv_dir, f"{exp_id}.csv")
+            with open(out_path, "w") as fp:
+                fp.write(table.to_csv())
+            print(f"wrote {out_path}\n")
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="csar-repro",
+        description="Reproduce the figures and tables of Pillai & Lauria, "
+                    "'A High Performance Redundancy Scheme for Cluster "
+                    "File Systems' (CLUSTER 2003)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_p = sub.add_parser("run", help="run experiments by id ('all' runs "
+                                       "everything)")
+    run_p.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run_p.add_argument("--scale", type=float, default=None,
+                       help="data-volume scale factor (default: "
+                            "per-experiment)")
+    run_p.add_argument("--csv-dir", default=None,
+                       help="also write each table as CSV into this "
+                            "directory")
+    run_p.add_argument("--chart", action="store_true",
+                       help="also render each result as a terminal chart")
+    report_p = sub.add_parser(
+        "report", help="run the paper-claim checklist and print verdicts")
+    report_p.add_argument("--scale", type=float, default=None,
+                          help="data-volume scale factor")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "report":
+        from repro.experiments.report import run_report
+
+        text, ok = run_report(scale=args.scale)
+        print(text)
+        return 0 if ok else 1
+    return _cmd_run(args.ids, args.scale, args.csv_dir, args.chart)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""CSAR system assembly: configuration and the simulated cluster."""
+
+from repro.csar.config import CSARConfig
+from repro.csar.system import System
+
+__all__ = ["CSARConfig", "System"]

@@ -1,0 +1,29 @@
+"""Reproductions of every figure and table in the paper's evaluation.
+
+Each experiment module exposes ``run(scale=...) -> ExpTable``; the
+registry maps experiment ids ("fig3", "table2", ...) to them.  Run from
+the command line::
+
+    python -m repro list
+    python -m repro run fig4a --scale 0.25
+"""
+
+from repro.experiments.base import ExpTable, REGISTRY, get_experiment, register
+
+# Importing the modules populates the registry.
+from repro.experiments import (  # noqa: E402,F401
+    ablations,
+    ext_recovery,
+    ext_scrub,
+    fig1_disk_trend,
+    fig2_layout,
+    fig3_locking,
+    fig4_stripe_writes,
+    fig5_romio,
+    fig6_btio_classb,
+    fig7_btio_classc,
+    fig8_applications,
+    table2_storage,
+)
+
+__all__ = ["ExpTable", "REGISTRY", "get_experiment", "register"]

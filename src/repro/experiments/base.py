@@ -1,0 +1,105 @@
+"""Experiment plumbing: result tables and the experiment registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ExpTable:
+    """One reproduced figure/table, ready to print or assert against."""
+
+    experiment: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.headers)} columns")
+        self.rows.append(list(values))
+
+    def column(self, header: str) -> List[object]:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def cell(self, row_key: object, header: str) -> object:
+        """Value at (first column == row_key, header)."""
+        idx = self.headers.index(header)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[idx]
+        raise KeyError(f"no row keyed {row_key!r}")
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering for downstream plotting."""
+        def cell(value: object) -> str:
+            text = "" if value is None else str(value)
+            if "," in text or '"' in text:
+                text = '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(cell(h) for h in self.headers)]
+        for row in self.rows:
+            lines.append(",".join(cell(v) for v in row))
+        return "\n".join(lines) + "\n"
+
+    def format(self) -> str:
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
+        cells = [self.headers] + [[fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(row[i]) for row in cells)
+                  for i in range(len(self.headers))]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one figure or table."""
+
+    id: str
+    title: str
+    run: Callable[..., ExpTable]
+    default_scale: float = 1.0
+
+
+REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(exp_id: str, title: str, default_scale: float = 1.0):
+    """Decorator: add ``run(scale=...)`` to the experiment registry."""
+
+    def wrap(func: Callable[..., ExpTable]) -> Callable[..., ExpTable]:
+        REGISTRY[exp_id] = Experiment(exp_id, title, func, default_scale)
+        return func
+
+    return wrap
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        return REGISTRY[exp_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {exp_id!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> Sequence[Experiment]:
+    return [REGISTRY[k] for k in sorted(REGISTRY)]

@@ -1,0 +1,21 @@
+"""Shared system-building helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from repro.csar.config import CSARConfig
+from repro.csar.system import System
+from repro.units import KiB
+
+#: The paper's main deployment: 6 I/O servers, 64 KiB stripe unit.
+DEFAULT_SERVERS = 6
+DEFAULT_UNIT = 64 * KiB
+
+
+def build(scheme: str, servers: int = DEFAULT_SERVERS, clients: int = 1,
+          profile: str = "osu8", scale: float = 1.0,
+          stripe_unit: int = DEFAULT_UNIT, **overrides) -> System:
+    """A system in extent mode, scaled consistently with the workload."""
+    overrides.setdefault("content_mode", False)
+    return System(CSARConfig(scheme=scheme, num_servers=servers,
+                             num_clients=clients, stripe_unit=stripe_unit,
+                             profile=profile, scale=scale, **overrides))

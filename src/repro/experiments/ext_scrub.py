@@ -1,0 +1,79 @@
+"""Extension experiment: online scrubbing vs foreground bandwidth.
+
+The paper's long-term objective (single-disk fault tolerance) implies
+periodic verification; this experiment measures what a timed scrub pass
+costs the foreground application — the classic scrub-interference
+trade-off — per redundancy scheme.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExpTable, register
+from repro.experiments.common import build
+from repro.redundancy.scrub import online_scrub
+from repro.storage.payload import Payload
+from repro.units import MB, mbps
+
+SCHEMES = ("raid1", "raid5", "hybrid")
+
+
+@register("ext-scrub", "EXTENSION: online scrub interference", 1.0)
+def run(scale: float = 1.0) -> ExpTable:
+    volume = max(8 * MB, int(48 * MB * scale))
+    table = ExpTable("ext-scrub",
+                     "Foreground write bandwidth with a concurrent "
+                     "online scrub (MB/s)",
+                     ["scheme", "alone", "with_scrub", "slowdown",
+                      "scrub_time_s"])
+    for scheme in SCHEMES:
+        # content mode: the scrub really verifies.
+        def setup():
+            system = build(scheme=scheme, clients=2, content_mode=True)
+            client = system.client(0)
+            span = system.layout.group_span
+            aligned = max(1, volume // span) * span
+
+            def seed_file():
+                yield from client.create("verified")
+                yield from client.write("verified", 0,
+                                        Payload.pattern(aligned, seed=3))
+
+            system.run(seed_file())
+            system.drop_all_caches()
+            return system, aligned
+
+        def foreground(system, aligned):
+            client = system.client(0)
+            span = system.layout.group_span
+            chunk = 8 * span
+
+            def work():
+                yield from client.create("fg")
+                offset = 0
+                while offset < aligned:
+                    yield from client.write("fg", offset,
+                                            Payload.pattern(
+                                                min(chunk, aligned - offset),
+                                                seed=4))
+                    offset += chunk
+
+            return work
+
+        system, aligned = setup()
+        elapsed_alone, _ = system.timed(foreground(system, aligned)())
+        alone = mbps(aligned, elapsed_alone)
+
+        system, aligned = setup()
+        scrub_proc = system.env.process(
+            online_scrub(system, "verified", client_index=1))
+        elapsed_busy, _ = system.timed(foreground(system, aligned)())
+        busy = mbps(aligned, elapsed_busy)
+        scrub_issues = system.env.run(until=scrub_proc)
+        assert scrub_issues == [], "scrub found corruption in clean data"
+        scrub_time = system.env.now
+
+        table.add_row(scheme, alone, busy, alone / busy, scrub_time)
+    table.notes.append("the scrub shares server CPU/disk with the "
+                       "foreground writer; RAID5/Hybrid scrubs read every "
+                       "group member")
+    return table

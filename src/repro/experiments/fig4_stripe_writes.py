@@ -1,0 +1,62 @@
+"""Figure 4: single-client write bandwidth vs number of I/O servers.
+
+(a) full-stripe writes — RAID5's best case; includes the *RAID5-npc*
+variant with the parity computation commented out (paper: ~8% gap).
+(b) one-block writes into an existing cached file — RAID5's worst case;
+RAID1 and Hybrid behave identically.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExpTable, register
+from repro.experiments.common import build
+from repro.units import MB
+from repro.workloads.micro import full_stripe_write_bench, small_write_bench
+
+IOD_COUNTS = (1, 2, 3, 4, 5, 6, 7)
+
+COLUMNS = [
+    ("raid0", dict(scheme="raid0")),
+    ("raid1", dict(scheme="raid1")),
+    ("raid5", dict(scheme="raid5")),
+    ("raid5_npc", dict(scheme="raid5", compute_parity=False)),
+    ("hybrid", dict(scheme="hybrid")),
+]
+
+
+@register("fig4a", "Full-stripe write bandwidth vs #iods (MB/s)")
+def run_full(scale: float = 1.0, total_bytes: int = 48 * MB) -> ExpTable:
+    total = max(4 * MB, int(total_bytes * scale))
+    table = ExpTable("fig4a", "Large (full-stripe) writes, 1 client (MB/s)",
+                     ["iods"] + [name for name, _ in COLUMNS])
+    for n in IOD_COUNTS:
+        row: list = [n]
+        for name, kw in COLUMNS:
+            if kw["scheme"] in ("raid5", "hybrid") and n < 2:
+                row.append(None)
+                continue
+            system = build(servers=n, clients=1, **kw)
+            result = full_stripe_write_bench(system, total_bytes=total)
+            row.append(result.write_bandwidth)
+        table.add_row(*row)
+    return table
+
+
+@register("fig4b", "Small (one-block) write bandwidth vs #iods (MB/s)")
+def run_small(scale: float = 1.0, count: int = 150) -> ExpTable:
+    count = max(10, int(count * scale))
+    table = ExpTable("fig4b", "Small (one-block) writes, 1 client (MB/s)",
+                     ["iods", "raid0", "raid1", "raid5", "hybrid"])
+    for n in IOD_COUNTS:
+        row: list = [n]
+        for scheme in ("raid0", "raid1", "raid5", "hybrid"):
+            if scheme in ("raid5", "hybrid") and n < 2:
+                row.append(None)
+                continue
+            system = build(scheme=scheme, servers=n, clients=1)
+            result = small_write_bench(system, count=count)
+            row.append(result.write_bandwidth)
+        table.add_row(*row)
+    table.notes.append("RAID1 and Hybrid overlap; RAID5 pays the "
+                       "read-modify-write round trip even with warm caches")
+    return table

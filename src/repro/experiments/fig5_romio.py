@@ -1,0 +1,45 @@
+"""Figure 5: ROMIO ``perf`` read and write bandwidth.
+
+Concurrent clients each write (then read) a 4 MB buffer at
+``rank * 4MB``; the paper reports post-flush numbers.  Reads are expected
+to be nearly identical across schemes (redundancy is never read); writes
+favour RAID5/Hybrid because the accesses are large.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExpTable, register
+from repro.experiments.common import build
+from repro.units import MiB
+from repro.workloads.romio_perf import perf_benchmark
+
+CLIENT_COUNTS = (1, 2, 4, 6, 8)
+SCHEMES = ("raid0", "raid1", "raid5", "hybrid")
+
+
+def _run(scale: float, phase: str) -> ExpTable:
+    buffer_size = max(256 * 1024, int(4 * MiB * scale))
+    table = ExpTable(f"fig5{'a' if phase == 'read' else 'b'}",
+                     f"ROMIO perf {phase} bandwidth (MB/s), 4 MB buffers",
+                     ["clients"] + list(SCHEMES))
+    for nclients in CLIENT_COUNTS:
+        row: list = [nclients]
+        for scheme in SCHEMES:
+            system = build(scheme=scheme, clients=nclients)
+            results = perf_benchmark(system, buffer_size=buffer_size,
+                                     rounds=3)
+            value = (results["read"].read_bandwidth if phase == "read"
+                     else results["write"].write_bandwidth)
+            row.append(value)
+        table.add_row(*row)
+    return table
+
+
+@register("fig5a", "ROMIO perf read bandwidth (MB/s)")
+def run_read(scale: float = 1.0) -> ExpTable:
+    return _run(scale, "read")
+
+
+@register("fig5b", "ROMIO perf write bandwidth (MB/s)")
+def run_write(scale: float = 1.0) -> ExpTable:
+    return _run(scale, "write")

@@ -1,0 +1,65 @@
+"""Figure 6: BTIO Class B write bandwidth, initial write and overwrite.
+
+Run on the OSC-profile cluster (the paper used the production cluster for
+everything beyond 8 nodes) with 6 I/O servers and 4/9/16/25 BT processes.
+The two paper findings to reproduce:
+
+* initial write (a): RAID5 tracks Hybrid at 4-9 processes, dips at 16 and
+  collapses at 25 — the parity-lock synchronization overhead (verified
+  against a no-lock RAID5 run);
+* overwrite (b): RAID5 collapses outright — cold-cache partial-stripe
+  read-modify-write goes to disk — while the other schemes lose only a
+  little (unaligned partial *blocks*, Section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExpTable, register
+from repro.experiments.common import build
+from repro.workloads.btio import btio_benchmark
+
+PROC_COUNTS = (4, 9, 16, 25)
+SCHEMES = ("raid0", "raid1", "raid5", "hybrid")
+
+
+def _btio_table(io_class: str, scale: float, overwrite: bool,
+                exp_id: str, include_nolock: bool = False) -> ExpTable:
+    headers = ["procs"] + list(SCHEMES)
+    if include_nolock:
+        headers.append("r5_nolock")
+    table = ExpTable(exp_id,
+                     f"BTIO Class {io_class} "
+                     f"{'overwrite' if overwrite else 'initial write'} "
+                     "bandwidth (MB/s)", headers)
+    for procs in PROC_COUNTS:
+        row: list = [procs]
+        for scheme in SCHEMES:
+            system = build(scheme=scheme, clients=procs, profile="osc",
+                           scale=scale)
+            result = btio_benchmark(system, io_class, scale=scale,
+                                    overwrite=overwrite)
+            row.append(result.write_bandwidth)
+        if include_nolock:
+            system = build(scheme="raid5", clients=procs, profile="osc",
+                           scale=scale, locking=False)
+            result = btio_benchmark(system, io_class, scale=scale,
+                                    overwrite=overwrite)
+            row.append(result.write_bandwidth)
+        table.add_row(*row)
+    return table
+
+
+@register("fig6a", "BTIO Class B initial-write bandwidth (MB/s)",
+          default_scale=0.25)
+def run_initial(scale: float = 0.25) -> ExpTable:
+    table = _btio_table("B", scale, overwrite=False, exp_id="fig6a",
+                        include_nolock=True)
+    table.notes.append("r5_nolock isolates the locking overhead "
+                       "(the paper's drop diagnosis at 25 procs)")
+    return table
+
+
+@register("fig6b", "BTIO Class B overwrite bandwidth (MB/s)",
+          default_scale=0.25)
+def run_overwrite(scale: float = 0.25) -> ExpTable:
+    return _btio_table("B", scale, overwrite=True, exp_id="fig6b")

@@ -1,0 +1,39 @@
+"""HDF5-lite: a minimal self-describing container format over CSAR.
+
+The paper's applications (FLASH I/O, Cactus BenchIO) write through the
+HDF5 parallel library; what CSAR sees is HDF5's characteristic mix of
+large raw-data chunk writes and small *metadata rewrites* — the
+superblock, object headers and attribute heap near the start of the file
+are updated every time a dataset is created, extended or annotated.
+Section 6.7's FLASH storage numbers hinge on exactly this behaviour.
+
+This package implements the format for real (files written with
+:class:`H5File` read back through :class:`H5Reader`, verified byte for
+byte), so the access pattern the paper describes *emerges* from the
+library instead of being scripted.
+"""
+
+from repro.hdf5lite.format import (
+    DATA_ALIGNMENT,
+    HEADER_SIZE,
+    SUPERBLOCK_SIZE,
+    DatasetInfo,
+    pack_dataset_header,
+    pack_superblock,
+    unpack_dataset_header,
+    unpack_superblock,
+)
+from repro.hdf5lite.writer import H5File, H5Reader
+
+__all__ = [
+    "H5File",
+    "H5Reader",
+    "DatasetInfo",
+    "SUPERBLOCK_SIZE",
+    "HEADER_SIZE",
+    "DATA_ALIGNMENT",
+    "pack_superblock",
+    "unpack_superblock",
+    "pack_dataset_header",
+    "unpack_dataset_header",
+]

@@ -1,0 +1,133 @@
+"""The on-disk layout of HDF5-lite.
+
+Deliberately simple but real — every structure is packed to bytes and
+parsed back:
+
+::
+
+    offset 0            SUPERBLOCK (512 B): magic, dataset count,
+                        metadata end, data end
+    offset 512          OBJECT HEADER TABLE: one 256 B header per
+                        dataset (name, dtype size, shape, data address,
+                        attribute count) — rewritten when the dataset
+                        grows or gains attributes
+    after headers       ATTRIBUTE HEAP: appended (name, value) records;
+                        a dataset's header is rewritten to bump its
+                        attribute count
+    DATA_ALIGNMENT      RAW DATA: dataset chunks, appended aligned
+
+The small-write behaviour the paper attributes to HDF5 falls out of this
+layout: every ``create_dataset``/``extend``/``set_attribute`` call
+rewrites a few hundred bytes near the start of the file.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ProtocolError
+
+MAGIC = b"H5LT"
+SUPERBLOCK_SIZE = 512
+HEADER_SIZE = 256
+#: raw data starts here; headers + heap must fit below
+DATA_ALIGNMENT = 64 * 1024
+NAME_LIMIT = 64
+
+_SUPER = struct.Struct("<4sIQQQ")          # magic, ndatasets, meta_end,
+                                           # data_end, heap_start
+_HEADER = struct.Struct(f"<{NAME_LIMIT}sIIQQQI")   # name, dtype, ndims,
+                                                   # nelems, addr, nbytes,
+                                                   # nattrs
+
+
+@dataclass
+class DatasetInfo:
+    """One dataset's object header, in memory."""
+
+    name: str
+    dtype_size: int
+    shape: Tuple[int, ...]
+    data_addr: int
+    data_bytes: int
+    n_attrs: int = 0
+
+    @property
+    def n_elems(self) -> int:
+        out = 1
+        for dim in self.shape:
+            out *= dim
+        return out
+
+
+def pack_superblock(n_datasets: int, meta_end: int, data_end: int,
+                    heap_start: int) -> bytes:
+    raw = _SUPER.pack(MAGIC, n_datasets, meta_end, data_end, heap_start)
+    return raw + b"\x00" * (SUPERBLOCK_SIZE - len(raw))
+
+
+def unpack_superblock(raw: bytes) -> Tuple[int, int, int, int]:
+    if len(raw) < _SUPER.size:
+        raise ProtocolError("short superblock")
+    magic, n_datasets, meta_end, data_end, heap_start = _SUPER.unpack(
+        raw[: _SUPER.size])
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    return n_datasets, meta_end, data_end, heap_start
+
+
+def pack_dataset_header(info: DatasetInfo) -> bytes:
+    name = info.name.encode()
+    if len(name) >= NAME_LIMIT:
+        raise ProtocolError(f"dataset name too long: {info.name!r}")
+    if len(info.shape) > 8:
+        raise ProtocolError("too many dimensions")
+    # Shape dims ride in the padding after the fixed part.
+    fixed = _HEADER.pack(name, info.dtype_size, len(info.shape),
+                         info.n_elems, info.data_addr, info.data_bytes,
+                         info.n_attrs)
+    dims = struct.pack(f"<{len(info.shape)}Q", *info.shape)
+    raw = fixed + dims
+    if len(raw) > HEADER_SIZE:
+        raise ProtocolError("header overflow")
+    return raw + b"\x00" * (HEADER_SIZE - len(raw))
+
+
+def unpack_dataset_header(raw: bytes) -> DatasetInfo:
+    if len(raw) < HEADER_SIZE:
+        raise ProtocolError("short dataset header")
+    name_raw, dtype_size, ndims, n_elems, addr, nbytes, n_attrs = \
+        _HEADER.unpack(raw[: _HEADER.size])
+    dims = struct.unpack(
+        f"<{ndims}Q", raw[_HEADER.size: _HEADER.size + 8 * ndims])
+    info = DatasetInfo(name=name_raw.rstrip(b"\x00").decode(),
+                       dtype_size=dtype_size, shape=tuple(dims),
+                       data_addr=addr, data_bytes=nbytes, n_attrs=n_attrs)
+    if info.n_elems != n_elems:
+        raise ProtocolError("inconsistent element count")
+    return info
+
+
+def pack_attribute(dataset_index: int, name: str, value: bytes) -> bytes:
+    name_b = name.encode()
+    return struct.pack("<HHH", dataset_index, len(name_b),
+                       len(value)) + name_b + value
+
+
+def unpack_attributes(raw: bytes) -> List[Tuple[int, str, bytes]]:
+    """Parse the whole heap: (dataset index, name, value) in append order."""
+    out: List[Tuple[int, str, bytes]] = []
+    at = 0
+    while at < len(raw):
+        if at + 6 > len(raw):
+            raise ProtocolError("truncated attribute heap")
+        ds_index, nlen, vlen = struct.unpack_from("<HHH", raw, at)
+        at += 6
+        name = raw[at: at + nlen].decode()
+        at += nlen
+        value = raw[at: at + vlen]
+        at += vlen
+        out.append((ds_index, name, value))
+    return out

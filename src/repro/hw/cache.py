@@ -1,0 +1,306 @@
+"""Linux-like page cache, extent-granular.
+
+The cache mediates every local-file read and write on an I/O server and
+reproduces the three behaviours the paper's evaluation hinges on:
+
+* **read caching** — warm re-reads are free (Fig 4b's "old data and parity
+  are found in the file system cache");
+* **write-behind with dirty throttling** — writes are absorbed at memory
+  speed until dirty data exceeds a limit, then writers are throttled to
+  disk speed (the RAID1 collapse in Fig 7: twice the bytes overflow the
+  server caches first);
+* **partial-block read-before-write** — writing part of a block whose old
+  contents exist on disk but not in cache forces a block read first
+  (Section 5.2).  The write-buffering fix limits partial-block writes to
+  the two edges of a request; without it, every network-chunk boundary can
+  trigger one.
+
+State is tracked as byte extents per file (not per-page dicts) so
+multi-gigabyte Class C runs stay cheap; an OrderedDict over files provides
+the LRU for eviction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.metrics import Metrics
+from repro.sim.engine import Environment, Event
+from repro.util.intervals import Extent, ExtentMap
+from repro.hw.disk import Disk
+from repro.hw.params import CacheParams
+
+#: Largest single disk operation issued by writeback/readahead coalescing.
+MAX_IO = 1 << 20
+
+
+class _FileEntry:
+    __slots__ = ("cached", "dirty")
+
+    def __init__(self) -> None:
+        self.cached = ExtentMap()
+        self.dirty = ExtentMap()
+
+
+class PageCache:
+    """One node's unified page cache in front of one disk."""
+
+    def __init__(self, env: Environment, node_name: str, params: CacheParams,
+                 disk: Disk, metrics: Optional[Metrics] = None) -> None:
+        self.env = env
+        self.node_name = node_name
+        self.params = params
+        self.disk = disk
+        self.metrics = metrics
+        self._files: "OrderedDict[object, _FileEntry]" = OrderedDict()
+        self.usage = 0
+        self.dirty_bytes = 0
+        self._flusher_proc = None
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers
+    # ------------------------------------------------------------------
+    def _entry(self, file_id: object) -> _FileEntry:
+        entry = self._files.get(file_id)
+        if entry is None:
+            entry = _FileEntry()
+            self._files[file_id] = entry
+        else:
+            self._files.move_to_end(file_id)
+        return entry
+
+    def _cover(self, entry: _FileEntry, start: int, end: int) -> int:
+        """Add ``[start, end)`` to the cached set; returns new bytes."""
+        already = sum(e.length for e in entry.cached.overlap(start, end))
+        entry.cached.add(start, end)
+        added = (end - start) - already
+        self.usage += added
+        return added
+
+    def _mark_dirty(self, entry: _FileEntry, start: int, end: int) -> None:
+        already = sum(e.length for e in entry.dirty.overlap(start, end))
+        entry.dirty.add(start, end)
+        self.dirty_bytes += (end - start) - already
+
+    def cached_extents(self, file_id: object) -> ExtentMap:
+        entry = self._files.get(file_id)
+        return entry.cached.copy() if entry else ExtentMap()
+
+    def is_cached(self, file_id: object, start: int, end: int) -> bool:
+        entry = self._files.get(file_id)
+        return entry is not None and entry.cached.contains(start, end)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read(self, file_id: object, start: int, end: int,
+             allocated: ExtentMap) -> Generator[Event, Any, None]:
+        """Bring ``[start, end)`` into cache, reading misses from disk.
+
+        ``allocated`` is the file's on-disk extent map; holes are sparse
+        zeros and cost nothing.
+        """
+        if end <= start:
+            return
+        entry = self._entry(file_id)
+        bs = self.params.block_size
+        hit = sum(e.length for e in entry.cached.overlap(start, end))
+        missing: List[Extent] = []
+        for gap in entry.cached.gaps(start, end):
+            missing.extend(
+                Extent(g.start, g.end)
+                for g in allocated.overlap(gap.start, gap.end))
+        if self.metrics is not None:
+            self.metrics.add("cache.hit_bytes", hit)
+            self.metrics.add("cache.miss_bytes",
+                             sum(m.length for m in missing))
+        for miss in missing:
+            # Page-align the disk read, extend to the readahead window,
+            # clip to allocation.
+            lo = (miss.start // bs) * bs
+            hi = -(-miss.end // bs) * bs
+            if hi - lo < self.params.readahead:
+                hi = lo + self.params.readahead
+            hi = min(hi, max(allocated.max_end(), miss.end))
+            offset = lo
+            while offset < hi:
+                step = min(MAX_IO, hi - offset)
+                yield from self.disk.read(file_id, offset, step)
+                offset += step
+            self._cover(entry, lo, hi)
+        # Everything requested (including sparse holes) now counts cached.
+        self._cover(entry, start, end)
+        yield from self._evict_if_needed(exclude=file_id)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def write(self, file_id: object, start: int, end: int,
+              allocated: ExtentMap,
+              cut_points: Iterable[int] = ()) -> Generator[Event, Any, None]:
+        """Absorb a write of ``[start, end)``.
+
+        ``cut_points`` are the file offsets at which the server's local
+        write calls begin/end *inside* the request (chunked arrival without
+        write buffering).  Every block containing an unaligned boundary —
+        the request edges plus each cut point — is written partially at
+        first touch; if its old contents are on disk and not cached, it
+        must be read first (Section 5.2).
+        """
+        if end <= start:
+            return
+        entry = self._entry(file_id)
+        bs = self.params.block_size
+        boundaries = {start, end}
+        boundaries.update(cut_points)
+        penalty_blocks: List[Tuple[int, int]] = []
+        seen = set()
+        for p in sorted(boundaries):
+            if p % bs == 0:
+                continue  # block-aligned boundary: no partial write
+            block_lo = (p // bs) * bs
+            if block_lo in seen:
+                continue
+            seen.add(block_lo)
+            block_hi = block_lo + bs
+            old = allocated.overlap(block_lo, block_hi)
+            if not old:
+                continue  # no old data: allocator just zero-fills
+            # Resident when every *allocated* byte of the block is cached
+            # (holes within the block need no read).
+            if all(entry.cached.contains(piece.start, piece.end)
+                   for piece in old):
+                continue
+            penalty_blocks.append((block_lo, block_hi))
+        for block_lo, block_hi in penalty_blocks:
+            hi = min(block_hi, max(allocated.max_end(), block_lo))
+            if hi > block_lo:
+                yield from self.disk.read(file_id, block_lo, hi - block_lo)
+                self._cover(entry, block_lo, hi)
+                if self.metrics is not None:
+                    self.metrics.add("cache.partial_block_reads")
+                    self.metrics.add("cache.partial_block_read_bytes",
+                                     hi - block_lo)
+        self._cover(entry, start, end)
+        self._mark_dirty(entry, start, end)
+        if self.metrics is not None:
+            self.metrics.add("cache.write_bytes", end - start)
+        yield from self._throttle()
+        yield from self._evict_if_needed(exclude=file_id)
+
+    # ------------------------------------------------------------------
+    # writeback / eviction
+    # ------------------------------------------------------------------
+    def _pick_dirty(self) -> Optional[Tuple[object, Extent]]:
+        """Oldest file's lowest dirty extent (elevator-ish order)."""
+        for file_id, entry in self._files.items():
+            for ext in entry.dirty:
+                return file_id, ext
+        return None
+
+    def _writeback_some(self, target_bytes: int) -> Generator[Event, Any, int]:
+        """Flush up to ``target_bytes`` of dirty data; returns bytes flushed."""
+        flushed = 0
+        while flushed < target_bytes:
+            pick = self._pick_dirty()
+            if pick is None:
+                break
+            file_id, ext = pick
+            entry = self._files[file_id]
+            length = min(ext.length, MAX_IO)
+            # Claim the extent *before* the disk write so concurrent
+            # flushers (fsync handlers, the background daemon, throttled
+            # writers) never write the same bytes twice.
+            entry.dirty.remove(ext.start, ext.start + length)
+            self.dirty_bytes -= length
+            yield from self.disk.write(file_id, ext.start, length)
+            flushed += length
+            if self.metrics is not None:
+                self.metrics.add("cache.writeback_bytes", length)
+        return flushed
+
+    def _throttle(self) -> Generator[Event, Any, None]:
+        """Synchronous writeback charged to the writer when over the limit."""
+        limit = self.params.dirty_limit
+        if self.dirty_bytes <= limit:
+            return
+        t0 = self.env.now
+        while self.dirty_bytes > limit:
+            done = yield from self._writeback_some(MAX_IO)
+            if done == 0:
+                break
+        if self.metrics is not None:
+            self.metrics.add("cache.throttle_time", self.env.now - t0)
+
+    def _evict_if_needed(self, exclude: object = None) -> Generator[Event, Any, None]:
+        """Drop clean extents (coldest file first) until under capacity."""
+        while self.usage > self.params.capacity:
+            evicted = False
+            for file_id in list(self._files):
+                if file_id == exclude and len(self._files) > 1:
+                    continue
+                entry = self._files[file_id]
+                for ext in list(entry.cached):
+                    for clean in entry.dirty.gaps(ext.start, ext.end):
+                        length = clean.length
+                        entry.cached.remove(clean.start, clean.end)
+                        self.usage -= length
+                        if self.metrics is not None:
+                            self.metrics.add("cache.evicted_bytes", length)
+                        evicted = True
+                        if self.usage <= self.params.capacity:
+                            return
+                if evicted:
+                    break
+            if not evicted:
+                # Everything is dirty: reclaim must clean pages first.
+                done = yield from self._writeback_some(MAX_IO)
+                if done == 0:
+                    return  # cache smaller than one in-flight write; give up
+
+    # ------------------------------------------------------------------
+    # external control
+    # ------------------------------------------------------------------
+    def fsync(self, file_id: object) -> Generator[Event, Any, None]:
+        """Flush every dirty byte of one file to disk."""
+        entry = self._files.get(file_id)
+        if entry is None:
+            return
+        while entry.dirty:
+            ext = next(iter(entry.dirty))
+            length = min(ext.length, MAX_IO)
+            # Claim before writing (see _writeback_some).
+            entry.dirty.remove(ext.start, ext.start + length)
+            self.dirty_bytes -= length
+            yield from self.disk.write(file_id, ext.start, length)
+            if self.metrics is not None:
+                self.metrics.add("cache.writeback_bytes", length)
+
+    def sync(self) -> Generator[Event, Any, None]:
+        """Flush all dirty data on this node."""
+        for file_id in list(self._files):
+            yield from self.fsync(file_id)
+
+    def drop(self) -> Generator[Event, Any, None]:
+        """``echo 3 > drop_caches``: sync, then forget everything."""
+        yield from self.sync()
+        self._files.clear()
+        self.usage = 0
+        self.dirty_bytes = 0
+
+    def start_flusher(self) -> None:
+        """Launch the background flusher (idempotent)."""
+        if self._flusher_proc is None or not self._flusher_proc.is_alive:
+            self._flusher_proc = self.env.process(
+                self._flusher(), name=f"flusher:{self.node_name}")
+
+    def _flusher(self) -> Generator[Event, Any, None]:
+        """pdflush-like daemon: keep dirty bytes near the background limit."""
+        while True:
+            yield self.env.timeout(self.params.flush_interval)
+            limit = self.params.background_limit
+            while self.dirty_bytes > limit:
+                done = yield from self._writeback_some(MAX_IO)
+                if done == 0:
+                    break

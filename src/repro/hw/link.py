@@ -1,0 +1,122 @@
+"""Flow-level network model.
+
+Each node owns a :class:`NIC` with independent transmit and receive
+resources (Myrinet is full duplex).  A message transfer:
+
+1. acquires the sender's TX slot, then the receiver's RX slot (TX and RX
+   are disjoint pools, so the two-step acquisition cannot deadlock);
+2. holds both for ``per_message + nbytes / min(tx_bw, rx_bw)``;
+3. delivers after one additional one-way ``latency``.
+
+Saturation behaviour is what matters for the paper's figures: many flows
+out of one client serialize on its TX (RAID1's 2x bytes flatten Fig 4a);
+many clients into one server serialize on its RX (the parity hot spot in
+Fig 3).  Single-flow store-and-forward pipelining is approximated — a
+documented limitation (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.metrics import Metrics
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+from repro.hw.params import NetworkParams
+
+
+class NIC:
+    """A full-duplex network attachment for one node."""
+
+    def __init__(self, env: Environment, node_name: str,
+                 params: NetworkParams) -> None:
+        self.env = env
+        self.node_name = node_name
+        self.params = params
+        self.tx = Resource(env, capacity=1)
+        self.rx = Resource(env, capacity=1)
+
+
+def transfer(env: Environment, src: NIC, dst: NIC, nbytes: int,
+             metrics: Optional[Metrics] = None) -> Generator[Event, Any, None]:
+    """Process body: move ``nbytes`` from ``src``'s node to ``dst``'s node.
+
+    Use as ``yield env.process(transfer(...))`` or ``yield from transfer(...)``.
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative transfer size {nbytes}")
+    if src is dst:
+        # Loopback (e.g. a client co-located with an I/O server): charge
+        # only the per-message overhead, no wire time.
+        yield env.timeout(src.params.per_message)
+        return
+    bandwidth = min(src.params.bandwidth, dst.params.bandwidth)
+    occupancy = src.params.per_message + nbytes / bandwidth
+    with src.tx.request() as tx_req:
+        yield tx_req
+        with dst.rx.request() as rx_req:
+            yield rx_req
+            yield env.timeout(occupancy)
+    yield env.timeout(src.params.latency)
+    if metrics is not None:
+        metrics.record_tx(src.node_name, nbytes)
+        metrics.record_rx(dst.node_name, nbytes)
+
+
+def stream(env: Environment, src: NIC, dst: NIC, nbytes: int,
+           metrics: Optional[Metrics] = None, cpu=None, cpu_at: str = "dst",
+           ) -> Generator[Event, Any, None]:
+    """Move ``nbytes`` in segments, overlapping wire and per-byte CPU time.
+
+    Large messages are sent in NIC-segment-sized pieces so (a) concurrent
+    flows through one NIC interleave fairly, approximating TCP
+    multiplexing, and (b) the per-byte data-handling cost (``cpu``, a
+    :class:`~repro.hw.cpu.Cpu`) of the receiving (``cpu_at='dst'``) or
+    sending (``cpu_at='src'``) node pipelines with the wire time, the way
+    a real server processes a socket while more data is in flight.  The
+    slower of the two stages sets the steady-state rate — this is what
+    lets aggregate PVFS bandwidth scale with I/O servers until the client
+    link saturates (Figure 4a).
+    """
+    if nbytes <= 0 or cpu is None:
+        yield from transfer(env, src, dst, nbytes, metrics)
+        return
+    segment = src.params.segment
+    sizes = [segment] * (nbytes // segment)
+    if nbytes % segment:
+        sizes.append(nbytes % segment)
+
+    from repro.sim.resources import Store  # local import to avoid a cycle
+
+    queue = Store(env)
+
+    def wire_stage():
+        for size in sizes:
+            yield from transfer(env, src, dst, size, None)
+            queue.put(size)
+
+    def cpu_stage():
+        for _ in sizes:
+            size = yield queue.get()
+            yield from cpu.process_bytes(size)
+
+    if cpu_at == "dst":
+        stages = [env.process(wire_stage()), env.process(cpu_stage())]
+    elif cpu_at == "src":
+        def src_cpu_stage():
+            for size in sizes:
+                yield from cpu.process_bytes(size)
+                queue.put(size)
+
+        def src_wire_stage():
+            for _ in sizes:
+                size = yield queue.get()
+                yield from transfer(env, src, dst, size, None)
+
+        stages = [env.process(src_cpu_stage()), env.process(src_wire_stage())]
+    else:
+        raise ValueError(f"cpu_at must be 'src' or 'dst', got {cpu_at!r}")
+    yield env.all_of(stages)
+    if metrics is not None:
+        metrics.record_tx(src.node_name, nbytes)
+        metrics.record_rx(dst.node_name, nbytes)

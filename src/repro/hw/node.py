@@ -1,0 +1,31 @@
+"""A cluster node: NIC + disk + page cache + CPU under one name."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics import Metrics
+from repro.sim.engine import Environment
+from repro.hw.cache import PageCache
+from repro.hw.cpu import Cpu
+from repro.hw.disk import Disk
+from repro.hw.link import NIC
+from repro.hw.params import HardwareProfile
+
+
+class Node:
+    """One physical machine of the simulated cluster."""
+
+    def __init__(self, env: Environment, name: str, profile: HardwareProfile,
+                 metrics: Optional[Metrics] = None) -> None:
+        self.env = env
+        self.name = name
+        self.profile = profile
+        self.metrics = metrics
+        self.nic = NIC(env, name, profile.network)
+        self.disk = Disk(env, name, profile.disk, metrics)
+        self.cache = PageCache(env, name, profile.cache, self.disk, metrics)
+        self.cpu = Cpu(env, name, profile.cpu)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Node {self.name} ({self.profile.name})>"

@@ -1,0 +1,198 @@
+"""Hardware calibration profiles.
+
+Two testbeds from Section 6.1 of the paper:
+
+* ``osu8`` — the 8-node OSU cluster: dual 1 GHz Pentium III, 1 GB RAM,
+  Myrinet 2000 (1.3 Gb/s links), two IBM Deskstar 75GXP disks behind a
+  3Ware controller in RAID0.
+* ``osc`` — the 74-node OSC production cluster: dual 900 MHz Itanium II,
+  4 GB RAM, Myrinet, one 80 GB SCSI disk.
+
+Values are period-correct estimates (Myrinet 2000 delivered ~160 MB/s to
+applications; a 75GXP streams ~37 MB/s so the 3Ware pair does ~70 MB/s; a
+2002 10k SCSI disk streams ~45 MB/s).  The absolute bandwidths the
+simulator produces inherit these inputs; the reproduction targets curve
+*shapes* (see DESIGN.md §2 and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.units import KiB, MBps, MiB, ms, us
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """A full-duplex point-to-point network attachment."""
+
+    #: sustained per-direction NIC bandwidth, bytes/s
+    bandwidth: float
+    #: one-way wire+stack latency, seconds
+    latency: float
+    #: fixed per-message host overhead (syscall, interrupt, matching), seconds
+    per_message: float
+    #: streaming segment size, bytes: large transfers move in segments so
+    #: concurrent flows share a NIC fairly (TCP-like multiplexing) and
+    #: receiver-side processing overlaps the wire time
+    segment: int = 128 * 1024
+
+    def transfer_time(self, nbytes: int) -> float:
+        """NIC occupancy for one message of ``nbytes`` payload."""
+        return self.per_message + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """A streaming-plus-seek disk model."""
+
+    #: sustained sequential transfer rate, bytes/s
+    bandwidth: float
+    #: average positioning time (seek + rotational), seconds
+    seek: float
+    #: fixed per-operation command overhead, seconds
+    per_op: float
+
+    def io_time(self, nbytes: int, sequential: bool) -> float:
+        t = self.per_op + nbytes / self.bandwidth
+        if not sequential:
+            t += self.seek
+        return t
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Linux-like page-cache behaviour knobs."""
+
+    #: usable page-cache capacity, bytes (RAM minus OS/application footprint)
+    capacity: int
+    #: local file-system block size, bytes (ext2 used 4 KiB)
+    block_size: int
+    #: writers are throttled to disk speed above this many dirty bytes
+    dirty_limit_fraction: float = 0.4
+    #: the background flusher aims to keep dirty bytes below this
+    background_fraction: float = 0.1
+    #: background flusher wake interval, seconds (pdflush-ish)
+    flush_interval: float = 0.5
+    #: readahead window, bytes: Linux 2.4 extended every cold read to a
+    #: sizable window regardless of pattern, so random read-modify-write
+    #: reads on a loaded disk cost more than their nominal size
+    readahead: int = 128 * 1024
+
+    @property
+    def dirty_limit(self) -> int:
+        return int(self.capacity * self.dirty_limit_fraction)
+
+    @property
+    def background_limit(self) -> int:
+        return int(self.capacity * self.background_fraction)
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """Per-node CPU cost model (only the costs the paper measures)."""
+
+    #: XOR parity throughput, word-at-a-time kernel, bytes/s
+    parity_bandwidth: float
+    #: XOR parity throughput, byte-at-a-time kernel, bytes/s (Swift ablation)
+    parity_bandwidth_bytewise: float
+    #: per-request server-side processing, seconds
+    request_overhead: float
+    #: extra per-request overhead when accessing through the kernel module
+    #: — the 2003 PVFS kmod moved small requests at single-digit MB/s, and
+    #: this cost dominating each 16 KB write is what levels the four
+    #: schemes for Hartree-Fock in Figure 8 (Section 6.6)
+    kernel_module_overhead: float
+    #: per-byte server-side data handling (TCP receive, copies, page-cache
+    #: insertion), bytes/s.  This — not the NIC — is what capped a 2003
+    #: PVFS iod at ~13 MB/s and makes aggregate bandwidth scale with the
+    #: number of I/O servers in Figure 4(a).
+    byte_rate: float
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Everything needed to instantiate one cluster node."""
+
+    name: str
+    network: NetworkParams
+    disk: DiskParams
+    cache: CacheParams
+    cpu: CpuParams
+    #: TCP-like receive granularity: how many bytes arrive per non-blocking
+    #: socket read at an I/O server (drives the Section 5.2 effect)
+    net_chunk: int = 64 * KiB
+
+    def scaled(self, factor: float) -> "HardwareProfile":
+        """Profile with page-cache capacity scaled by ``factor``.
+
+        Workloads scaled to ``factor`` of paper size must scale the cache
+        identically so cache-overflow crossovers (Fig 7) are preserved.
+        """
+        if factor <= 0:
+            raise ConfigError(f"scale factor must be positive, got {factor}")
+        cache = replace(self.cache,
+                        capacity=max(int(self.cache.capacity * factor),
+                                     4 * self.cache.block_size))
+        return replace(self, name=f"{self.name}@{factor:g}", cache=cache)
+
+
+def _osu8() -> HardwareProfile:
+    # Calibration targets (Section 6, small cluster): TCP-over-Myrinet on
+    # a 1 GHz PIII delivers ~80 MB/s effective goodput per host; one PVFS
+    # iod ingests ~13 MB/s, so RAID1's 2x bytes hit the client link first
+    # and flatten early while plain striping keeps scaling through 7 iods
+    # (Figure 4a); parity XOR is sized so RAID5 vs RAID5-npc differs by
+    # ~8%, and RAID5 writes land near the paper's 73% of RAID0 at 7 iods.
+    return HardwareProfile(
+        name="osu8",
+        network=NetworkParams(bandwidth=80 * MBps, latency=60 * us,
+                              per_message=30 * us),
+        disk=DiskParams(bandwidth=70 * MBps, seek=8 * ms, per_op=0.2 * ms),
+        cache=CacheParams(capacity=768 * MiB, block_size=4 * KiB),
+        cpu=CpuParams(parity_bandwidth=1000 * MBps,
+                      parity_bandwidth_bytewise=80 * MBps,
+                      request_overhead=120 * us,
+                      kernel_module_overhead=8 * ms,
+                      byte_rate=13 * MBps),
+    )
+
+
+def _osc() -> HardwareProfile:
+    # The Itanium-II production cluster: faster iods (~65 MB/s ingest) in
+    # front of a single SCSI disk whose *sustained* writeback rate —
+    # two local files, concurrent per-rank extents, metadata — is well
+    # below its streaming spec (~30 MB/s effective).  Ingest outrunning
+    # writeback is what makes Class C's data volume overflow the page
+    # cache under RAID1's 2x bytes and throttle writers to disk speed
+    # (Figure 7); Linux 2.4's conservative dirty thresholds mean the
+    # usable write-behind cushion is ~1 GiB of the 4 GB RAM.
+    return HardwareProfile(
+        name="osc",
+        network=NetworkParams(bandwidth=100 * MBps, latency=60 * us,
+                              per_message=30 * us),
+        disk=DiskParams(bandwidth=30 * MBps, seek=7 * ms, per_op=0.2 * ms),
+        cache=CacheParams(capacity=1024 * MiB, block_size=4 * KiB),
+        cpu=CpuParams(parity_bandwidth=1500 * MBps,
+                      parity_bandwidth_bytewise=120 * MBps,
+                      request_overhead=120 * us,
+                      kernel_module_overhead=8 * ms,
+                      byte_rate=65 * MBps),
+    )
+
+
+PROFILES = {
+    "osu8": _osu8(),
+    "osc": _osc(),
+}
+
+
+def get_profile(name: str) -> HardwareProfile:
+    """Look up a calibration profile by name (``osu8`` or ``osc``)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown hardware profile {name!r}; known: {sorted(PROFILES)}"
+        ) from None

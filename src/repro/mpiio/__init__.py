@@ -1,0 +1,25 @@
+"""A ROMIO-like MPI-IO layer over CSAR.
+
+The paper's applications (BTIO, FLASH I/O via HDF5, Cactus BenchIO) reach
+PVFS through ROMIO, whose *two-phase collective I/O* merges each process's
+many small non-contiguous accesses into large contiguous file-system
+requests — "ROMIO optimizes small, non-contiguous accesses by merging
+them into large requests when possible.  As a result ... the PVFS layer
+sees large writes" (Section 6.5).
+
+This package implements that substrate: MPI-like datatypes as offset
+lists, an ``MPIFile`` with independent and collective operations, and the
+two-phase exchange (rank→aggregator redistribution over the simulated
+network, then one large write per aggregator file domain).
+"""
+
+from repro.mpiio.datatypes import AccessPattern, contiguous, strided
+from repro.mpiio.collective import CollectiveConfig, MPIFile
+
+__all__ = [
+    "AccessPattern",
+    "contiguous",
+    "strided",
+    "CollectiveConfig",
+    "MPIFile",
+]

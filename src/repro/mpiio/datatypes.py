@@ -1,0 +1,82 @@
+"""MPI-datatype-lite: file access patterns as offset/length lists.
+
+A full MPI datatype engine is out of scope; what two-phase I/O needs is
+each rank's *flattened* access pattern — the sorted list of (offset,
+length) pieces it touches — which is exactly what ROMIO's flattening pass
+produces from any derived datatype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.util.intervals import ExtentMap
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """A rank's flattened file access: disjoint, sorted (offset, length)."""
+
+    pieces: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        last_end = -1
+        for offset, length in self.pieces:
+            if length <= 0 or offset < 0:
+                raise ValueError(f"bad piece ({offset}, {length})")
+            if offset < last_end:
+                raise ValueError("pieces must be sorted and disjoint")
+            last_end = offset + length
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(length for _off, length in self.pieces)
+
+    @property
+    def extent(self) -> Tuple[int, int]:
+        """(first byte, last byte + 1) of the whole pattern."""
+        if not self.pieces:
+            return (0, 0)
+        return (self.pieces[0][0],
+                self.pieces[-1][0] + self.pieces[-1][1])
+
+    def as_extent_map(self) -> ExtentMap:
+        return ExtentMap((off, off + length) for off, length in self.pieces)
+
+    def clip(self, start: int, end: int) -> "AccessPattern":
+        """The sub-pattern falling inside ``[start, end)``."""
+        out: List[Tuple[int, int]] = []
+        for offset, length in self.pieces:
+            lo = max(offset, start)
+            hi = min(offset + length, end)
+            if hi > lo:
+                out.append((lo, hi - lo))
+        return AccessPattern(tuple(out))
+
+
+def contiguous(offset: int, length: int) -> AccessPattern:
+    """A plain contiguous access."""
+    return AccessPattern(((offset, length),))
+
+
+def strided(offset: int, block: int, stride: int,
+            count: int) -> AccessPattern:
+    """``count`` blocks of ``block`` bytes every ``stride`` bytes.
+
+    The canonical non-contiguous scientific pattern (a column of a 2-D
+    array, one variable of an interleaved record, a BT sub-cube face).
+    """
+    if stride < block:
+        raise ValueError("stride smaller than block would overlap")
+    return AccessPattern(tuple(
+        (offset + i * stride, block) for i in range(count)))
+
+
+def merge(patterns: Iterable[AccessPattern]) -> ExtentMap:
+    """Union of several ranks' accesses (the collective's file region)."""
+    out = ExtentMap()
+    for pattern in patterns:
+        for offset, length in pattern.pieces:
+            out.add(offset, offset + length)
+    return out

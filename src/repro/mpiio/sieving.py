@@ -1,0 +1,137 @@
+"""Data sieving: ROMIO's optimization for *independent* non-contiguous I/O.
+
+When a single process reads many small pieces from a dense file region,
+ROMIO reads the whole covering extent into a buffer and extracts the
+pieces ("sieves"), trading wasted bytes for round trips.  For writes it
+must read-modify-write the covering extent — which is why ROMIO guards
+write sieving with file locking and why PVFS deployments often disabled
+it; we implement both, with the same caveat documented.
+
+Collective two-phase I/O (:mod:`repro.mpiio.collective`) is preferred
+when all ranks participate; sieving is the fallback ROMIO applies to
+independent operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Tuple
+
+from repro.errors import ConfigError
+from repro.mpiio.datatypes import AccessPattern
+from repro.sim.engine import Event
+from repro.storage.payload import Payload
+from repro.units import KiB, MiB
+
+
+@dataclass(frozen=True)
+class SievingConfig:
+    """ROMIO's ``ind_rd_buffer_size`` / ``ind_wr_buffer_size`` knobs."""
+
+    read_buffer: int = 4 * MiB
+    write_buffer: int = 512 * KiB
+    #: only sieve when the pieces cover at least this fraction of the
+    #: extent — below it, wasted bytes outweigh saved round trips
+    min_density: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.read_buffer <= 0 or self.write_buffer <= 0:
+            raise ConfigError("sieving buffers must be positive")
+        if not 0.0 <= self.min_density <= 1.0:
+            raise ConfigError("min_density must be in [0, 1]")
+
+
+def _should_sieve(pattern: AccessPattern, config: SievingConfig) -> bool:
+    lo, hi = pattern.extent
+    if hi <= lo:
+        return False
+    return pattern.total_bytes / (hi - lo) >= config.min_density
+
+
+def sieved_read(client, name: str, pattern: AccessPattern,
+                config: SievingConfig = SievingConfig(),
+                ) -> Generator[Event, Any, Payload]:
+    """Read a non-contiguous pattern; returns the pieces concatenated in
+    file order (an MPI receive buffer)."""
+    if not pattern.pieces:
+        return Payload.from_bytes(b"")
+    if not _should_sieve(pattern, config):
+        return (yield from _piecewise_read(client, name, pattern))
+    lo, hi = pattern.extent
+    parts: List[Tuple[int, Payload]] = []
+    at = 0
+    cursor = lo
+    while cursor < hi:
+        chunk_hi = min(cursor + config.read_buffer, hi)
+        clipped = pattern.clip(cursor, chunk_hi)
+        if clipped.total_bytes:
+            chunk = yield from client.read(name, cursor, chunk_hi - cursor)
+            for off, length in clipped.pieces:
+                parts.append((at, chunk.slice(off - cursor,
+                                              off - cursor + length)))
+                at += length
+        cursor = chunk_hi
+    return Payload.assemble(pattern.total_bytes, parts)
+
+
+def _piecewise_read(client, name: str, pattern: AccessPattern,
+                    ) -> Generator[Event, Any, Payload]:
+    parts: List[Tuple[int, Payload]] = []
+    at = 0
+    for off, length in pattern.pieces:
+        piece = yield from client.read(name, off, length)
+        parts.append((at, piece))
+        at += length
+    return Payload.assemble(pattern.total_bytes, parts)
+
+
+def sieved_write(client, name: str, pattern: AccessPattern,
+                 payload: Payload,
+                 config: SievingConfig = SievingConfig(),
+                 ) -> Generator[Event, Any, None]:
+    """Write a non-contiguous pattern via read-modify-write sieving.
+
+    CAVEAT (as in ROMIO): the read-modify-write of the covering extent is
+    not atomic against concurrent writers of the same region; use the
+    collective path or strict locking when that matters.
+    """
+    if payload.length != pattern.total_bytes:
+        raise ConfigError("payload does not match pattern size")
+    if not pattern.pieces:
+        return
+    if not _should_sieve(pattern, config):
+        at = 0
+        for off, length in pattern.pieces:
+            yield from client.write(name, off, payload.slice(at, at + length))
+            at += length
+        return
+    lo, hi = pattern.extent
+    # Buffer offset of each piece for extraction.
+    prefix = []
+    at = 0
+    for off, length in pattern.pieces:
+        prefix.append((off, length, at))
+        at += length
+    cursor = lo
+    while cursor < hi:
+        chunk_hi = min(cursor + config.write_buffer, hi)
+        clipped = pattern.clip(cursor, chunk_hi)
+        if clipped.total_bytes == (chunk_hi - cursor):
+            # Fully covered: no pre-read needed.
+            chunk = Payload.virtual(chunk_hi - cursor) if payload.is_virtual \
+                else Payload.zeros(chunk_hi - cursor)
+        elif clipped.total_bytes:
+            chunk = yield from client.read(name, cursor, chunk_hi - cursor)
+        else:
+            cursor = chunk_hi
+            continue
+        for off, length, buf_at in prefix:
+            seg_lo = max(off, cursor)
+            seg_hi = min(off + length, chunk_hi)
+            if seg_hi <= seg_lo:
+                continue
+            piece = payload.slice(buf_at + (seg_lo - off),
+                                  buf_at + (seg_hi - off))
+            chunk = chunk.overlay(seg_lo - cursor, piece)
+        yield from client.write(name, cursor, chunk)
+        cursor = chunk_hi

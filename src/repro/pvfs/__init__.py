@@ -1,0 +1,5 @@
+"""The PVFS-like substrate: striping layout, manager, I/O daemons, client."""
+
+from repro.pvfs.layout import Piece, ServerRange, StripeLayout
+
+__all__ = ["Piece", "ServerRange", "StripeLayout"]

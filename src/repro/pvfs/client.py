@@ -1,0 +1,181 @@
+"""The CSAR client library.
+
+Mirrors the PVFS client library's role: open files through the manager,
+then move data directly between the application and the I/O daemons.  All
+redundancy intelligence — which servers get which bytes, parity
+read-modify-write, overflow placement — lives in the pluggable
+:class:`~repro.redundancy.base.RedundancyScheme` the client delegates to,
+exactly as CSAR added redundancy "by adding new routines" around intact
+PVFS code.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.hw.link import stream, transfer
+from repro.hw.node import Node
+from repro.metrics import Metrics
+from repro.pvfs import messages as msg
+from repro.pvfs.manager import FileMeta, Manager
+from repro.sim.engine import Environment, Event
+from repro.storage.payload import Payload
+
+
+class PVFSClient:
+    """One application process's file-system endpoint."""
+
+    def __init__(self, env: Environment, index: int, node: Node,
+                 iods: Sequence, manager: Manager, metrics: Metrics,
+                 scheme) -> None:
+        self.env = env
+        self.index = index
+        self.node = node
+        self.iods = list(iods)
+        self.manager = manager
+        self.metrics = metrics
+        self.scheme = scheme
+        self._xids = itertools.count(index << 32)
+        self._handles: Dict[str, FileMeta] = {}
+        #: route operations through the mounted kernel module (Section 6.6)
+        self.via_kernel_module = False
+        #: optional :class:`~repro.util.trace.TraceRecorder`
+        self.tracer = None
+        #: servers this client has seen fail — reads skip them and go
+        #: straight to reconstruction (fail-fast); cleared on rebuild
+        self.suspected: set = set()
+        self._scheme_cache: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def next_xid(self) -> int:
+        return next(self._xids)
+
+    def rpc(self, target, request) -> Generator[Event, Any, Any]:
+        """Send ``request`` to an iod or the manager; return its response.
+
+        Payload-bearing requests stream: the server's per-byte data
+        handling overlaps the transfer, as over a real socket.  Raises the
+        server-reported error, so callers see
+        :class:`~repro.errors.ServerFailed` and friends as exceptions.
+        """
+        wire = request.wire_size()
+        if wire > msg.HEADER and hasattr(target, "failed") and not target.failed:
+            yield from stream(self.env, self.node.nic, target.node.nic,
+                              wire, self.metrics, cpu=target.node.cpu,
+                              cpu_at="dst")
+        else:
+            yield from transfer(self.env, self.node.nic, target.node.nic,
+                                wire, self.metrics)
+        done = self.env.event()
+        target.inbox.put((request, self.node.nic, done))
+        response = yield done
+        error = getattr(response, "error", None)
+        if error is not None:
+            from repro.errors import ServerFailed
+
+            if isinstance(error, ServerFailed) and hasattr(target, "index"):
+                self.suspected.add(target.index)
+            raise error
+        return response
+
+    def parallel(self, gens: List) -> Generator[Event, Any, List[Any]]:
+        """Run generators concurrently; fail fast on the first error."""
+        procs = [self.env.process(g) for g in gens]
+        values = yield self.env.all_of(procs)
+        return values
+
+    def try_parallel(self, gens: List,
+                     ) -> Generator[Event, Any, List[Tuple[Any, Optional[Exception]]]]:
+        """Run generators concurrently, collecting per-item outcomes.
+
+        Returns ``(value, None)`` or ``(None, error)`` per generator, in
+        order.  Needed by degraded reads, which must learn *which* server
+        failed rather than aborting wholesale.
+        """
+
+        def guard(gen):
+            try:
+                value = yield from gen
+            except ReproError as exc:
+                return (None, exc)
+            return (value, None)
+
+        procs = [self.env.process(guard(g)) for g in gens]
+        outcomes = yield self.env.all_of(procs)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # namespace operations
+    # ------------------------------------------------------------------
+    def create(self, name: str,
+               scheme: Optional[str] = None) -> Generator[Event, Any, FileMeta]:
+        """Create a file, optionally overriding the deployment's
+        redundancy scheme for it (e.g. raid0 scratch next to hybrid
+        checkpoints)."""
+        response = yield from self.rpc(self.manager,
+                                       msg.MgrCreate(name, scheme=scheme))
+        self._handles[name] = response.meta
+        return response.meta
+
+    def scheme_for(self, meta: FileMeta):
+        """The strategy object serving this file's scheme."""
+        if meta.scheme == self.scheme.name:
+            return self.scheme
+        cached = self._scheme_cache.get(meta.scheme)
+        if cached is None:
+            from repro.redundancy.base import make_scheme
+
+            cached = make_scheme(meta.scheme, self.scheme.config)
+            self._scheme_cache[meta.scheme] = cached
+        return cached
+
+    def open(self, name: str) -> Generator[Event, Any, FileMeta]:
+        meta = self._handles.get(name)
+        if meta is None:
+            response = yield from self.rpc(self.manager, msg.MgrOpen(name))
+            meta = self._handles[name] = response.meta
+        return meta
+
+    def unlink(self, name: str) -> Generator[Event, Any, None]:
+        yield from self.rpc(self.manager, msg.MgrUnlink(name))
+        self._handles.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # data operations
+    # ------------------------------------------------------------------
+    def write(self, name: str, offset: int,
+              payload: Payload) -> Generator[Event, Any, None]:
+        meta = yield from self.open(name)
+        if self.tracer is not None:
+            self.tracer.record(self.index, "write", name, offset,
+                               payload.length)
+        if self.via_kernel_module:
+            yield from self.node.cpu.kernel_module_crossing()
+        yield from self.scheme_for(meta).write(self, meta, offset, payload)
+        end = offset + payload.length
+        if end > meta.size:
+            meta.size = end
+        self.metrics.add("client.bytes_written", payload.length)
+
+    def read(self, name: str, offset: int,
+             length: int) -> Generator[Event, Any, Payload]:
+        meta = yield from self.open(name)
+        if self.tracer is not None:
+            self.tracer.record(self.index, "read", name, offset, length)
+        if self.via_kernel_module:
+            yield from self.node.cpu.kernel_module_crossing()
+        payload = yield from self.scheme_for(meta).read(self, meta, offset,
+                                                         length)
+        self.metrics.add("client.bytes_read", length)
+        return payload
+
+    def fsync(self, name: str) -> Generator[Event, Any, None]:
+        """Flush the file's local files on every I/O server."""
+        meta = yield from self.open(name)
+        del meta
+        yield from self.parallel([
+            self.rpc(iod, msg.FsyncReq(name)) for iod in self.iods])

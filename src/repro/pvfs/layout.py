@@ -1,0 +1,173 @@
+"""Striping and parity-placement arithmetic.
+
+PVFS stripes a file round-robin over ``n`` I/O servers in units of
+``stripe_unit`` bytes: logical block ``b`` lives on server ``b % n`` at
+local-file offset ``(b // n) * stripe_unit``.  Consecutive blocks held by
+one server are therefore consecutive in its local file, so any contiguous
+logical range maps to exactly one contiguous local range per server.
+
+RAID5 parity groups (Figure 2 of the paper): group ``g`` covers the
+``n - 1`` consecutive data blocks ``[g*(n-1), (g+1)*(n-1))``; those blocks
+occupy ``n - 1`` distinct servers, and the parity block is stored on the
+one server holding none of them — ``(n - 1 - g) mod n`` — in that server's
+redundancy file, packed densely (the ``j``-th parity block a server holds
+sits at local offset ``j * stripe_unit``, with ``j = g // n``).
+
+With the paper's 6 I/O servers this gives 5 data blocks per stripe
+(Section 5.1's microbenchmark) and a 20% parity overhead (Table 2's
+RAID5 = 1.2x RAID0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Piece:
+    """One stripe-unit-contained fragment of a logical range."""
+
+    server: int
+    logical_offset: int
+    local_offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class ServerRange:
+    """A server's single contiguous share of a logical range."""
+
+    server: int
+    local_start: int
+    local_end: int
+    pieces: tuple  # tuple[Piece, ...] in ascending logical order
+
+    @property
+    def length(self) -> int:
+        return self.local_end - self.local_start
+
+
+class StripeLayout:
+    """Round-robin striping plus RAID5 group geometry."""
+
+    def __init__(self, stripe_unit: int, num_servers: int) -> None:
+        if stripe_unit <= 0:
+            raise ConfigError(f"stripe unit must be positive, got {stripe_unit}")
+        if num_servers < 1:
+            raise ConfigError(f"need at least one server, got {num_servers}")
+        self.unit = stripe_unit
+        self.n = num_servers
+
+    # ------------------------------------------------------------------
+    # plain striping
+    # ------------------------------------------------------------------
+    def block_of(self, offset: int) -> int:
+        return offset // self.unit
+
+    def server_of_block(self, block: int) -> int:
+        return block % self.n
+
+    def local_offset_of_block(self, block: int) -> int:
+        return (block // self.n) * self.unit
+
+    def logical_of_local(self, server: int, local_offset: int) -> int:
+        """Inverse map: a server-local byte back to its logical offset."""
+        row, intra = divmod(local_offset, self.unit)
+        return (row * self.n + server) * self.unit + intra
+
+    def pieces(self, offset: int, length: int) -> List[Piece]:
+        """Unit-grain fragments of ``[offset, offset+length)``."""
+        out: List[Piece] = []
+        cursor = offset
+        end = offset + length
+        while cursor < end:
+            block = cursor // self.unit
+            intra = cursor - block * self.unit
+            take = min(self.unit - intra, end - cursor)
+            out.append(Piece(
+                server=self.server_of_block(block),
+                logical_offset=cursor,
+                local_offset=self.local_offset_of_block(block) + intra,
+                length=take,
+            ))
+            cursor += take
+        return out
+
+    def map_range(self, offset: int, length: int) -> List[ServerRange]:
+        """Per-server contiguous shares of a logical range.
+
+        Sorted by server id; each server appears at most once because its
+        fragments are consecutive in its local file.
+        """
+        by_server: dict[int, List[Piece]] = {}
+        for piece in self.pieces(offset, length):
+            by_server.setdefault(piece.server, []).append(piece)
+        out: List[ServerRange] = []
+        for server in sorted(by_server):
+            plist = by_server[server]
+            local_start = plist[0].local_offset
+            local_end = plist[-1].local_offset + plist[-1].length
+            if local_end - local_start != sum(p.length for p in plist):
+                raise AssertionError(
+                    "per-server fragments not contiguous — layout bug")
+            out.append(ServerRange(server, local_start, local_end,
+                                   tuple(plist)))
+        return out
+
+    # ------------------------------------------------------------------
+    # RAID5 parity-group geometry
+    # ------------------------------------------------------------------
+    @property
+    def group_width(self) -> int:
+        """Data blocks per parity group (``n - 1``)."""
+        if self.n < 2:
+            raise ConfigError("RAID5 geometry needs at least 2 servers")
+        return self.n - 1
+
+    @property
+    def group_span(self) -> int:
+        """Logical bytes per parity group."""
+        return self.group_width * self.unit
+
+    def group_of(self, offset: int) -> int:
+        return offset // self.group_span
+
+    def group_range(self, group: int) -> tuple[int, int]:
+        return group * self.group_span, (group + 1) * self.group_span
+
+    def blocks_of_group(self, group: int) -> range:
+        return range(group * self.group_width, (group + 1) * self.group_width)
+
+    def parity_server(self, group: int) -> int:
+        return (self.n - 1 - group) % self.n
+
+    def parity_local_offset(self, group: int) -> int:
+        return (group // self.n) * self.unit
+
+    def split_by_groups(self, offset: int, length: int,
+                        ) -> tuple[tuple[int, int], tuple[int, int], tuple[int, int]]:
+        """Split a range into (head partial, full groups, tail partial).
+
+        Each part is a half-open ``(start, end)``; empty parts have
+        ``start == end``.  This is the Hybrid scheme's three-way write
+        decomposition from Section 4; head and tail each lie within a
+        single group (a contiguous write touches at most two partial
+        stripes, Section 5.1).
+        """
+        end = offset + length
+        span = self.group_span
+        first_full = -(-offset // span) * span   # round up
+        last_full = (end // span) * span          # round down
+        if first_full < last_full:
+            return ((offset, first_full),
+                    (first_full, last_full),
+                    (last_full, end))
+        if offset < first_full < end:
+            # Crosses exactly one group boundary with no full group:
+            # two partial stripes, no full part.
+            return (offset, first_full), (first_full, first_full), (first_full, end)
+        # Entirely within one group.
+        return (offset, end), (end, end), (end, end)

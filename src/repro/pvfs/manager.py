@@ -1,0 +1,89 @@
+"""The PVFS metadata manager.
+
+A single daemon that owns the file namespace: creation, lookup (returning
+the striping layout to clients at open time) and unlink.  Like PVFS, the
+manager is *not* on the data path — clients talk to I/O daemons directly
+after open — so its model stays deliberately small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator
+
+from repro.errors import FileExists, FileNotFound, ProtocolError
+from repro.hw.link import transfer
+from repro.hw.node import Node
+from repro.metrics import Metrics
+from repro.pvfs import messages as msg
+from repro.pvfs.layout import StripeLayout
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Store
+
+
+@dataclass
+class FileMeta:
+    """What the manager knows about one PVFS file."""
+
+    name: str
+    layout: StripeLayout
+    scheme: str
+    size: int = 0  # logical EOF, maintained as clients complete writes
+
+
+class Manager:
+    """The metadata daemon."""
+
+    def __init__(self, env: Environment, node: Node, metrics: Metrics,
+                 layout: StripeLayout, scheme: str) -> None:
+        self.env = env
+        self.node = node
+        self.metrics = metrics
+        self.layout = layout
+        self.scheme = scheme
+        self.files: Dict[str, FileMeta] = {}
+        self.inbox = Store(env)
+        env.process(self._serve(), name="manager")
+
+    def _serve(self) -> Generator[Event, Any, None]:
+        while True:
+            request, reply_nic, done = yield self.inbox.get()
+            yield from self.node.cpu.request_processing()
+            try:
+                result = self._dispatch(request)
+                error = None
+            except (FileExists, FileNotFound, ProtocolError) as exc:
+                result, error = None, exc
+            yield from transfer(self.env, self.node.nic, reply_nic,
+                                request.reply_size(), self.metrics)
+            done.succeed(msg.MgrResponse(meta=result, error=error))
+
+    def _dispatch(self, request) -> FileMeta | None:
+        if isinstance(request, msg.MgrCreate):
+            if request.name in self.files:
+                raise FileExists(request.name)
+            if request.scheme is not None:
+                from repro.redundancy.base import SCHEMES
+
+                if request.scheme not in SCHEMES:
+                    raise ProtocolError(
+                        f"unknown scheme {request.scheme!r}")
+                if request.scheme in ("raid5", "hybrid") \
+                        and self.layout.n < 2:
+                    raise ProtocolError(
+                        f"{request.scheme} needs at least 2 servers")
+            meta = FileMeta(request.name, self.layout,
+                            request.scheme or self.scheme)
+            self.files[request.name] = meta
+            return meta
+        if isinstance(request, msg.MgrOpen):
+            meta = self.files.get(request.name)
+            if meta is None:
+                raise FileNotFound(request.name)
+            return meta
+        if isinstance(request, msg.MgrUnlink):
+            if request.name not in self.files:
+                raise FileNotFound(request.name)
+            del self.files[request.name]
+            return None
+        raise ProtocolError(f"manager: unknown request {request!r}")

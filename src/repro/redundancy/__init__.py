@@ -1,0 +1,14 @@
+"""The paper's contribution: RAID0/RAID1/RAID5/Hybrid redundancy schemes,
+the distributed parity-lock protocol, overflow regions, and recovery."""
+
+from repro.redundancy.base import RedundancyScheme, make_scheme, SCHEMES
+from repro.redundancy.locks import ParityLockTable
+from repro.redundancy.overflow import OverflowTable
+
+__all__ = [
+    "RedundancyScheme",
+    "make_scheme",
+    "SCHEMES",
+    "ParityLockTable",
+    "OverflowTable",
+]

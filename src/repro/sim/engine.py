@@ -1,0 +1,384 @@
+"""The discrete-event engine: environment, events, processes.
+
+Design notes
+------------
+The engine is a classic event-heap kernel, deliberately minimal:
+
+* :class:`Event` — one-shot; may *succeed* with a value or *fail* with an
+  exception.  Callbacks run when the event is popped from the heap.
+* :class:`Process` — wraps a generator.  Each ``yield`` must produce an
+  :class:`Event`; the process resumes with the event's value (or the
+  exception is thrown into the generator).  A process is itself an event
+  that succeeds with the generator's return value, so processes compose
+  (``yield env.process(child())``).
+* Determinism — the heap is keyed ``(time, priority, seq)`` where ``seq``
+  is a monotone counter, so same-time events fire in scheduling order and
+  runs are exactly reproducible.
+
+Failed events whose failure is never observed (no callbacks, never yielded
+on) raise at the end of :meth:`Environment.run`, so lost errors in server
+processes cannot silently vanish — important when simulating failure
+injection.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority for "urgent" bookkeeping events (process resumption).
+URGENT = 0
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Carries ``cause``; a process may catch it and continue (e.g. a
+    background flusher being told to flush early).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline."""
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """The event has a value and is (or will be) processed."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def defused(self) -> None:
+        """Mark a failure as handled so run() will not re-raise it."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "pending"
+        if self.triggered:
+            state = f"ok={self._ok} value={self._value!r}"
+        return f"<{type(self).__name__} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal: first resumption of a new process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running generator; also an event that fires on termination."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any],
+                 name: str | None = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks = [self._resume_interrupt]
+        self.env._schedule(event, URGENT)
+
+    # -- internal ---------------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if self.triggered:
+            return  # terminated before the interrupt was delivered
+        # Detach from whatever we were waiting on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active = self
+        while True:
+            try:
+                if event._ok:
+                    next_target = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self, NORMAL)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, NORMAL)
+                break
+
+            if not isinstance(next_target, Event):
+                self._generator.close()
+                self._ok = False
+                self._value = SimulationError(
+                    f"process {self.name!r} yielded {next_target!r}, "
+                    "which is not an Event")
+                self.env._schedule(self, NORMAL)
+                break
+            if next_target.env is not self.env:
+                raise SimulationError("event from a different environment")
+
+            if next_target.processed:
+                # Already done: resume immediately with its value.
+                event = next_target
+                continue
+            if next_target.callbacks is None:  # pragma: no cover - defensive
+                raise SimulationError("cannot wait on a processed event")
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+            break
+        self.env._active = None
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("event from a different environment")
+        self._remaining = len(self._events)
+        for ev in self._events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        if not self._events and not self.triggered:
+            self.succeed(self._collect())
+
+    def _collect(self) -> List[Any]:
+        return [ev._value for ev in self._events if ev.triggered]
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Succeeds when all events have succeeded; fails on the first failure."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as one event succeeds (fails on first failure)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(event._value)
+
+
+class Environment:
+    """Holds the clock, the event heap, and process bookkeeping."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[tuple] = []
+        self._seq: int = 0
+        self._active: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str | None = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling / running ----------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("nothing to step")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        With an :class:`Event` deadline, returns the event's value.
+        """
+        if isinstance(until, Event):
+            stop = until
+            if stop.processed:
+                if stop._ok:
+                    return stop._value
+                stop._defused = True
+                raise stop._value
+            flag = {"done": False}
+            stop.callbacks.append(lambda _ev: flag.__setitem__("done", True))
+            while self._heap and not flag["done"]:
+                self.step()
+            if not flag["done"]:
+                raise SimulationError(
+                    "simulation ended before the awaited event triggered "
+                    "(deadlock: a process is waiting on something that can "
+                    "never happen)")
+            if stop._ok:
+                return stop._value
+            stop._defused = True
+            raise stop._value
+
+        deadline = float("inf") if until is None else float(until)
+        if deadline is not None and deadline != float("inf") and deadline < self._now:
+            raise SimulationError("run(until) is in the past")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

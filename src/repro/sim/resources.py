@@ -1,0 +1,142 @@
+"""Shared-resource primitives built on the event kernel.
+
+* :class:`Resource` — ``capacity`` slots with a strict FIFO wait queue.
+  Modeled after SimPy's but simplified: requests are events; use them as
+  context managers inside processes for exception safety.
+* :class:`FifoLock` — a ``Resource`` of capacity 1 with lock vocabulary;
+  the parity-block lock manager builds on it.
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``;
+  used as message queues between clients and I/O daemons.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: Environment, resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+
+    # Context-manager protocol so processes can write
+    # ``with res.request() as req: yield req``.
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` interchangeable slots with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+        # Cumulative statistics for utilization reporting.
+        self.total_waits: int = 0
+        self.total_wait_time: float = 0.0
+        self._wait_started: dict[Request, float] = {}
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        req = Request(self.env, self)
+        if len(self.users) < self.capacity and not self.queue:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.total_waits += 1
+            self._wait_started[req] = self.env.now
+            self.queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Free a slot; grants the head of the queue if any.
+
+        Releasing a queued (never granted) request cancels it; releasing an
+        unknown request is an error.
+        """
+        if request in self.users:
+            self.users.remove(request)
+        else:
+            try:
+                self.queue.remove(request)
+                self._wait_started.pop(request, None)
+                return
+            except ValueError:
+                raise SimulationError("release of a request not held or queued")
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.total_wait_time += self.env.now - self._wait_started.pop(nxt)
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def held(self, duration: float) -> Generator[Event, Any, None]:
+        """Convenience process body: hold one slot for ``duration``.
+
+        ``yield from resource.held(t)`` acquires, waits ``t``, releases —
+        the common pattern for NIC and disk occupancy.
+        """
+        with self.request() as req:
+            yield req
+            yield self.env.timeout(duration)
+
+
+class FifoLock(Resource):
+    """A mutual-exclusion lock with FIFO fairness."""
+
+    def __init__(self, env: Environment) -> None:
+        super().__init__(env, capacity=1)
+
+    @property
+    def locked(self) -> bool:
+        return bool(self.users)
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+
+class Store:
+    """Unbounded FIFO message queue with blocking ``get``."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item (never blocks; the store is unbounded)."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> StoreGet:
+        """An event that fires with the next item."""
+        ev = StoreGet(self.env)
+        if self.items:
+            ev.succeed(self.items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.items)

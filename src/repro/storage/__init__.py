@@ -1,0 +1,7 @@
+"""Node-local storage: payloads, sparse files, and the local file system."""
+
+from repro.storage.blockfile import BlockFile
+from repro.storage.localfs import LocalFS
+from repro.storage.payload import Payload
+
+__all__ = ["BlockFile", "LocalFS", "Payload"]

@@ -1,0 +1,101 @@
+"""A sparse local file: extent map plus (optionally) real content.
+
+Each I/O daemon keeps several of these per PVFS file — the data file, the
+redundancy (mirror or parity) file, and under the Hybrid scheme the
+overflow files.  ``BlockFile`` is purely functional state; all timing goes
+through the :class:`repro.hw.cache.PageCache` in :class:`repro.storage.localfs.LocalFS`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.storage.payload import Payload
+from repro.util.intervals import ExtentMap
+
+#: Content arrays grow in chunks of this many bytes to amortize resizing.
+_GROW = 1 << 20
+
+
+class BlockFile:
+    """Sparse byte store with allocation tracking.
+
+    Unwritten ("hole") ranges read back as zeros, exactly like a sparse
+    Unix file; reads in extent mode return virtual payloads.
+    """
+
+    def __init__(self, name: str, content_mode: bool = True) -> None:
+        self.name = name
+        self.content_mode = content_mode
+        self.allocated = ExtentMap()
+        self._buf: Optional[np.ndarray] = (
+            np.zeros(0, dtype=np.uint8) if content_mode else None)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """What ``ls -l`` would report: the end of the last written byte."""
+        return self.allocated.max_end()
+
+    @property
+    def allocated_bytes(self) -> int:
+        """What ``du`` would report (ignoring holes)."""
+        return self.allocated.total()
+
+    def _ensure_capacity(self, end: int) -> None:
+        assert self._buf is not None
+        if end > self._buf.size:
+            new_size = max(end, self._buf.size + _GROW)
+            grown = np.zeros(new_size, dtype=np.uint8)
+            grown[: self._buf.size] = self._buf
+            self._buf = grown
+
+    # ------------------------------------------------------------------
+    def write(self, offset: int, payload: Payload) -> None:
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        if payload.length == 0:
+            return
+        end = offset + payload.length
+        self.allocated.add(offset, end)
+        if self.content_mode:
+            if payload.is_virtual:
+                raise ValueError(
+                    f"virtual payload written to content-mode file {self.name}")
+            self._ensure_capacity(end)
+            self._buf[offset:end] = payload.data
+
+    def read(self, offset: int, length: int) -> Payload:
+        if offset < 0 or length < 0:
+            raise ValueError(f"bad read [{offset}, +{length})")
+        if not self.content_mode:
+            return Payload.virtual(length)
+        end = offset + length
+        out = np.zeros(length, dtype=np.uint8)
+        avail = min(end, self._buf.size)
+        if avail > offset:
+            out[: avail - offset] = self._buf[offset:avail]
+        # Mask out holes so stale buffer growth never leaks.
+        for gap in self.allocated.gaps(offset, end):
+            out[gap.start - offset: gap.end - offset] = 0
+        return Payload(length, out)
+
+    def punch_hole(self, offset: int, length: int) -> None:
+        """Deallocate a range (used by the overflow reclaimer)."""
+        self.allocated.remove(offset, offset + length)
+        if self.content_mode and self._buf is not None:
+            end = min(offset + length, self._buf.size)
+            if end > offset:
+                self._buf[offset:end] = 0
+
+    def truncate(self) -> None:
+        """Drop all contents."""
+        self.allocated.clear()
+        if self.content_mode:
+            self._buf = np.zeros(0, dtype=np.uint8)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "content" if self.content_mode else "extent"
+        return f"<BlockFile {self.name!r} {mode} size={self.size}>"

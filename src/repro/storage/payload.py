@@ -1,0 +1,156 @@
+"""Data payloads that may or may not carry real bytes.
+
+The whole CSAR stack moves :class:`Payload` objects.  In *content mode*
+payloads hold numpy ``uint8`` arrays and every parity/mirror/reconstruction
+operation is computed for real — this is what the correctness tests and
+failure-injection tests exercise.  In *extent mode* payloads are virtual
+(length only), which lets the benchmark harness run paper-scale data volumes
+(Class C writes 6.6 GB) without materializing them; the simulated timing is
+identical because the hardware models only ever look at lengths.
+
+Mixing is handled conservatively: any operation involving a virtual operand
+yields a virtual result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.util.parity import xor_bytes
+
+
+class Payload:
+    """An immutable byte string of known length, possibly virtual."""
+
+    __slots__ = ("length", "data")
+
+    def __init__(self, length: int, data: Optional[np.ndarray]) -> None:
+        if length < 0:
+            raise ValueError(f"negative payload length {length}")
+        if data is not None:
+            if data.dtype != np.uint8:
+                raise TypeError("payload data must be uint8")
+            if data.size != length:
+                raise ValueError(
+                    f"payload length {length} != data size {data.size}")
+        self.length = length
+        self.data = data
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def from_bytes(cls, raw: bytes | bytearray | memoryview) -> "Payload":
+        arr = np.frombuffer(bytes(raw), dtype=np.uint8)
+        return cls(arr.size, arr)
+
+    @classmethod
+    def zeros(cls, length: int) -> "Payload":
+        return cls(length, np.zeros(length, dtype=np.uint8))
+
+    @classmethod
+    def virtual(cls, length: int) -> "Payload":
+        return cls(length, None)
+
+    @classmethod
+    def pattern(cls, length: int, seed: int) -> "Payload":
+        """Deterministic pseudo-random content, for end-to-end data checks."""
+        rng = np.random.default_rng(seed)
+        return cls(length, rng.integers(0, 256, length, dtype=np.uint8))
+
+    # -- predicates --------------------------------------------------------
+    @property
+    def is_virtual(self) -> bool:
+        return self.data is None
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Payload):
+            return NotImplemented
+        if self.length != other.length:
+            return False
+        if self.is_virtual or other.is_virtual:
+            return self.is_virtual and other.is_virtual
+        return bool(np.array_equal(self.data, other.data))
+
+    def __hash__(self) -> int:  # payloads are not meant as dict keys
+        raise TypeError("Payload is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "virtual" if self.is_virtual else "real"
+        return f"<Payload {kind} len={self.length}>"
+
+    # -- operations ---------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        if self.is_virtual:
+            raise ValueError("virtual payload has no content")
+        return self.data.tobytes()
+
+    def slice(self, start: int, end: int) -> "Payload":
+        if not (0 <= start <= end <= self.length):
+            raise ValueError(
+                f"slice [{start},{end}) outside payload of {self.length}")
+        if self.is_virtual:
+            return Payload.virtual(end - start)
+        return Payload(end - start, self.data[start:end].copy())
+
+    def concat(self, other: "Payload") -> "Payload":
+        if self.is_virtual or other.is_virtual:
+            return Payload.virtual(self.length + other.length)
+        return Payload(self.length + other.length,
+                       np.concatenate([self.data, other.data]))
+
+    @staticmethod
+    def xor(parts: Sequence["Payload"], length: int) -> "Payload":
+        """Parity of ``parts``, zero-padded/truncated to ``length``."""
+        if any(p.is_virtual for p in parts):
+            return Payload.virtual(length)
+        raw = xor_bytes([p.data for p in parts], length=length)
+        return Payload.from_bytes(raw)
+
+    @classmethod
+    def assemble(cls, length: int,
+                 parts: Sequence[tuple[int, "Payload"]]) -> "Payload":
+        """Build a payload of ``length`` from ``(offset, piece)`` parts.
+
+        Unfilled gaps are zeros; any virtual part makes the result virtual.
+        """
+        if any(piece.is_virtual for _at, piece in parts):
+            return cls.virtual(length)
+        buf = np.zeros(length, dtype=np.uint8)
+        for at, piece in parts:
+            if at < 0 or at + piece.length > length:
+                raise ValueError(
+                    f"part [{at}, +{piece.length}) outside payload of {length}")
+            buf[at: at + piece.length] = piece.data
+        return cls(length, buf)
+
+    def xor_at(self, at: int, other: "Payload") -> "Payload":
+        """A copy with ``other`` XOR-ed into the region starting at ``at``.
+
+        The RAID5 read-modify-write primitive: fold an old/new data delta
+        into the matching region of a parity block.
+        """
+        if at < 0 or at + other.length > self.length:
+            raise ValueError(
+                f"xor region [{at}, +{other.length}) outside payload "
+                f"of {self.length}")
+        if self.is_virtual or other.is_virtual:
+            return Payload.virtual(self.length)
+        buf = self.data.copy()
+        np.bitwise_xor(buf[at: at + other.length], other.data,
+                       out=buf[at: at + other.length])
+        return Payload(self.length, buf)
+
+    def overlay(self, at: int, patch: "Payload") -> "Payload":
+        """A copy with ``patch`` written at offset ``at`` (grows if needed)."""
+        end = at + patch.length
+        new_len = max(self.length, end)
+        if self.is_virtual or patch.is_virtual:
+            return Payload.virtual(new_len)
+        buf = np.zeros(new_len, dtype=np.uint8)
+        buf[: self.length] = self.data
+        buf[at:end] = patch.data
+        return Payload(new_len, buf)

@@ -1,0 +1,55 @@
+"""Byte, bandwidth and time units used throughout the reproduction.
+
+The paper mixes decimal (MB/s bandwidth figures) and binary (KB stripe
+units) conventions, as was customary in 2003 systems papers.  We follow the
+storage-systems convention the paper uses:
+
+* capacities and access sizes are binary: ``KiB``/``MiB``/``GiB`` (the
+  paper's "64KB stripe unit" is 65536 bytes);
+* bandwidths are decimal megabytes per second (``MBps``), matching the
+  MB/s axes of Figures 3-7.
+
+Times are plain floats in seconds.
+"""
+
+from __future__ import annotations
+
+#: One kibibyte (what the paper calls "KB" for stripe units and block sizes).
+KiB: int = 1024
+#: One mebibyte.
+MiB: int = 1024 * 1024
+#: One gibibyte.
+GiB: int = 1024 * 1024 * 1024
+
+#: Decimal megabyte — the unit of the paper's bandwidth axes.
+MB: int = 1_000_000
+
+#: One megabyte per second expressed in bytes/second.
+MBps: float = 1_000_000.0
+
+#: Microseconds / milliseconds in seconds, for latency constants.
+us: float = 1e-6
+ms: float = 1e-3
+
+
+def mbps(bytes_count: float, seconds: float) -> float:
+    """Bandwidth in decimal MB/s for ``bytes_count`` bytes in ``seconds``.
+
+    Returns ``0.0`` for non-positive durations rather than raising, because
+    zero-byte benchmark phases legitimately take zero simulated time.
+    """
+    if seconds <= 0.0:
+        return 0.0
+    return bytes_count / seconds / MBps
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable byte count using binary units (``1.5 MiB``)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

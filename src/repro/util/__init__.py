@@ -1,0 +1,12 @@
+"""Small supporting utilities: interval arithmetic, parity kernels, tables."""
+
+from repro.util.intervals import Extent, ExtentMap
+from repro.util.parity import xor_bytes, xor_bytes_bytewise, xor_into
+
+__all__ = [
+    "Extent",
+    "ExtentMap",
+    "xor_bytes",
+    "xor_bytes_bytewise",
+    "xor_into",
+]

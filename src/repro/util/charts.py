@@ -1,0 +1,151 @@
+"""Terminal charts for the reproduced figures.
+
+The paper's artifacts are *plots*; this module renders
+:class:`~repro.experiments.base.ExpTable` results as Unicode charts so
+``python -m repro run fig4a --chart`` shows the curve shapes directly,
+with no plotting dependencies.
+
+Two forms, chosen the way the paper's figures are drawn:
+
+* :func:`line_chart` — numeric x-axis (iods, process count, year) with
+  one series per scheme: Figures 1, 4, 5, 6, 7;
+* :func:`bar_chart` — categorical rows (configs, applications):
+  Figures 3, 8, the ablations and Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: distinct per-series glyphs, in column order
+MARKERS = "ox+*#@%&"
+BAR = "█"
+HALF = "▌"
+
+
+def _fmt(value: float) -> str:
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              title: str = "", width: int = 50,
+              unit: str = "") -> str:
+    """Horizontal bars, one per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must pair up")
+    if not labels:
+        return title
+    peak = max(max(values), 1e-12)
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = value / peak * width
+        bar = BAR * int(filled)
+        if filled - int(filled) >= 0.5:
+            bar += HALF
+        lines.append(f"{str(label).rjust(label_w)} |{bar.ljust(width)} "
+                     f"{_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(rows: Sequence[str], series: Dict[str, Sequence[float]],
+                      title: str = "", width: int = 40,
+                      unit: str = "") -> str:
+    """One bar per (row, series) pair, grouped by row — Figure 8 style."""
+    lines = [title] if title else []
+    peak = max((max(vals) for vals in series.values() if len(vals)),
+               default=1e-12)
+    peak = max(peak, 1e-12)
+    name_w = max(len(name) for name in series)
+    for i, row in enumerate(rows):
+        lines.append(f"{row}:")
+        for name, vals in series.items():
+            value = vals[i]
+            bar = BAR * int(value / peak * width)
+            lines.append(f"  {name.rjust(name_w)} |{bar.ljust(width)} "
+                         f"{_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(xs: Sequence[float], series: Dict[str, Sequence[Optional[float]]],
+               title: str = "", width: int = 60, height: int = 16,
+               y_label: str = "") -> str:
+    """A multi-series scatter/line plot on a character grid."""
+    points = [(x, v) for vals in series.values()
+              for x, v in zip(xs, vals) if v is not None]
+    if not points:
+        return title
+    x_lo = min(x for x, _v in points)
+    x_hi = max(x for x, _v in points)
+    y_hi = max(v for _x, v in points)
+    y_lo = min(0.0, min(v for _x, v in points))
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for marker, (name, vals) in zip(MARKERS, series.items()):
+        prev = None
+        for x, v in zip(xs, vals):
+            if v is None:
+                prev = None
+                continue
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((v - y_lo) / y_span * (height - 1))
+            # Sketch a connecting segment (vertical interpolation).
+            if prev is not None:
+                pcol, prow = prev
+                steps = max(abs(col - pcol), 1)
+                for s in range(1, steps):
+                    icol = pcol + (col - pcol) * s // steps
+                    irow = prow + (row - prow) * s // steps
+                    if grid[irow][icol] == " ":
+                        grid[irow][icol] = "·"
+            grid[row][col] = marker
+            prev = (col, row)
+
+    axis_w = max(len(_fmt(y_hi)), len(_fmt(y_lo)))
+    lines = [title] if title else []
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = _fmt(y_hi).rjust(axis_w)
+        elif i == height - 1:
+            label = _fmt(y_lo).rjust(axis_w)
+        else:
+            label = " " * axis_w
+        lines.append(f"{label} |{''.join(row_cells)}")
+    lines.append(" " * axis_w + " +" + "-" * width)
+    x_axis = (_fmt(x_lo) + " " * width)[: width - len(_fmt(x_hi))] \
+        + _fmt(x_hi)
+    lines.append(" " * axis_w + "  " + x_axis)
+    legend = "   ".join(f"{marker}={name}" for marker, name
+                        in zip(MARKERS, series))
+    lines.append((y_label + "  " if y_label else "") + legend)
+    return "\n".join(lines)
+
+
+def chart_table(table) -> str:
+    """Render an :class:`ExpTable` as the most fitting chart."""
+    if not table.rows:
+        return table.title
+    first_col = [row[0] for row in table.rows]
+    numeric_cols = [h for h in table.headers[1:]
+                    if all(isinstance(row[table.headers.index(h)],
+                                      (int, float)) or
+                           row[table.headers.index(h)] is None
+                           for row in table.rows)]
+    if not numeric_cols:
+        return table.format()
+    if all(isinstance(x, (int, float)) for x in first_col):
+        series = {h: table.column(h) for h in numeric_cols}
+        return line_chart([float(x) for x in first_col], series,
+                          title=table.title)
+    if len(numeric_cols) == 1:
+        return bar_chart([str(x) for x in first_col],
+                         table.column(numeric_cols[0]), title=table.title)
+    series = {h: table.column(h) for h in numeric_cols}
+    return grouped_bar_chart([str(x) for x in first_col], series,
+                             title=table.title)

@@ -1,0 +1,32 @@
+"""Workload generators reproducing the paper's benchmarks and applications.
+
+Each workload emits, at the PVFS layer, the access stream the paper
+describes for it (sizes, alignment, concurrency, totals) and reports the
+bandwidth/time figures the paper's evaluation plots.
+"""
+
+from repro.workloads.base import WorkloadResult, run_clients
+from repro.workloads.micro import (
+    full_stripe_write_bench,
+    shared_stripe_bench,
+    small_write_bench,
+)
+from repro.workloads.romio_perf import perf_benchmark
+from repro.workloads.btio import BTIO_CLASSES, btio_benchmark
+from repro.workloads.flashio import flash_io_benchmark
+from repro.workloads.cactus import cactus_benchio
+from repro.workloads.hartree_fock import hartree_fock_argos
+
+__all__ = [
+    "WorkloadResult",
+    "run_clients",
+    "full_stripe_write_bench",
+    "small_write_bench",
+    "shared_stripe_bench",
+    "perf_benchmark",
+    "BTIO_CLASSES",
+    "btio_benchmark",
+    "flash_io_benchmark",
+    "cactus_benchio",
+    "hartree_fock_argos",
+]

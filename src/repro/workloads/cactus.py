@@ -1,0 +1,44 @@
+"""Cactus BenchIO (Section 6.6).
+
+"We ran the application on eight nodes and we configured it so that each
+node was writing approximately 400MB of data to a checkpoint file in
+chunks of 4MB" — large sequential per-rank regions, HDF5 over MPI-IO.
+"""
+
+from __future__ import annotations
+
+from repro.csar.system import System
+from repro.storage.payload import Payload
+from repro.units import MB, MiB
+from repro.workloads.base import WorkloadResult, ensure_file, run_clients
+
+PER_NODE_BYTES = 400 * MB
+CHUNK = 4 * MiB
+
+
+def cactus_benchio(system: System, scale: float = 1.0,
+                   include_flush: bool = True,
+                   file_name: str = "cactus") -> WorkloadResult:
+    """Checkpoint with every configured client as one Cactus node."""
+    nprocs = len(system.clients)
+    per_node = int(PER_NODE_BYTES * scale)
+    chunks = max(1, per_node // CHUNK)
+
+    def setup():
+        yield from ensure_file(system.client(0), file_name)
+
+    system.run(setup())
+
+    def rank_proc(rank):
+        client = system.clients[rank]
+        yield from client.open(file_name)
+        base = rank * chunks * CHUNK
+        for i in range(chunks):
+            yield from client.write(file_name, base + i * CHUNK,
+                                    Payload.virtual(CHUNK))
+        if include_flush:
+            yield from client.fsync(file_name)
+
+    total = nprocs * chunks * CHUNK
+    return run_clients(system, [rank_proc(k) for k in range(nprocs)],
+                       "cactus-benchio", bytes_written=total)

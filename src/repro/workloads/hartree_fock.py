@@ -1,0 +1,46 @@
+"""Hartree-Fock ``argos`` (Section 6.6).
+
+The most I/O-intensive executable of the Hartree-Fock chemistry suite:
+a *sequential* application writing ~150 MB of integral data with most
+requests of size 16 KB, accessing CSAR through the mounted kernel module
+(whose per-request crossing cost levels the four schemes to within ~5% in
+Figure 8).
+"""
+
+from __future__ import annotations
+
+from repro.csar.system import System
+from repro.storage.payload import Payload
+from repro.units import KiB, MB
+from repro.workloads.base import WorkloadResult, ensure_file, run_clients
+
+TOTAL_BYTES = 150 * MB
+REQUEST = 16 * KiB
+
+
+def hartree_fock_argos(system: System, scale: float = 1.0,
+                       include_flush: bool = True,
+                       file_name: str = "hf_argos") -> WorkloadResult:
+    """Run argos's write phase on client 0 via the kernel module."""
+    total = int(TOTAL_BYTES * scale)
+    count = max(1, total // REQUEST)
+    client = system.client(0)
+    client.via_kernel_module = True
+
+    def setup():
+        yield from ensure_file(client, file_name)
+
+    system.run(setup())
+
+    def work():
+        for i in range(count):
+            yield from client.write(file_name, i * REQUEST,
+                                    Payload.virtual(REQUEST))
+        if include_flush:
+            yield from client.fsync(file_name)
+
+    try:
+        return run_clients(system, [work()], "hartree-fock",
+                           bytes_written=count * REQUEST)
+    finally:
+        client.via_kernel_module = False

@@ -1,0 +1,93 @@
+"""The paper's microbenchmarks (Sections 5.1, 6.2, 6.3).
+
+* :func:`full_stripe_write_bench` — Figure 4(a): a single client writes
+  chunks that are an integral number of stripes, the best case for RAID5.
+* :func:`small_write_bench` — Figure 4(b): a single client creates a
+  large file, then rewrites it in one-block chunks (RAID5's worst case;
+  the old data and parity are warm in the server caches).
+* :func:`shared_stripe_bench` — Figure 3: five clients write different
+  blocks of the same stripe, measuring the parity-lock overhead.
+"""
+
+from __future__ import annotations
+
+from repro.csar.system import System
+from repro.storage.payload import Payload
+from repro.workloads.base import WorkloadResult, ensure_file, run_clients
+
+
+def full_stripe_write_bench(system: System, total_bytes: int,
+                            chunk_stripes: int = 12,
+                            file_name: str = "fullstripe",
+                            ) -> WorkloadResult:
+    """Sequential stripe-aligned writes from one client (Fig 4a)."""
+    lay = system.layout
+    span = lay.group_span if lay.n >= 2 else lay.unit
+    chunk = chunk_stripes * span
+    count = max(1, total_bytes // chunk)
+    client = system.client(0)
+
+    def setup():
+        yield from ensure_file(client, file_name)
+
+    system.run(setup())
+
+    def work():
+        for i in range(count):
+            yield from client.write(file_name, i * chunk,
+                                    Payload.virtual(chunk))
+
+    result = run_clients(system, [work()], "full-stripe-write",
+                         bytes_written=count * chunk)
+    return result
+
+
+def small_write_bench(system: System, count: int = 200,
+                      file_name: str = "smallwrite") -> WorkloadResult:
+    """One-block rewrites of an existing, cached file (Fig 4b)."""
+    unit = system.layout.unit
+    client = system.client(0)
+
+    def setup():
+        yield from ensure_file(client, file_name)
+        yield from client.write(file_name, 0, Payload.virtual(count * unit))
+
+    system.run(setup())
+
+    def work():
+        for i in range(count):
+            yield from client.write(file_name, i * unit,
+                                    Payload.virtual(unit))
+
+    return run_clients(system, [work()], "small-write",
+                       bytes_written=count * unit)
+
+
+def shared_stripe_bench(system: System, rounds: int = 50,
+                        file_name: str = "shared") -> WorkloadResult:
+    """Concurrent clients writing distinct blocks of one stripe (Fig 3).
+
+    Uses as many clients as the system has (the paper used 5 with a
+    6-server stripe: 5 data blocks + parity).
+    """
+    unit = system.layout.unit
+    clients = system.clients
+
+    def setup():
+        yield from ensure_file(system.client(0), file_name)
+
+    system.run(setup())
+
+    def writer(k):
+        client = clients[k]
+        yield from client.open(file_name)
+        for _ in range(rounds):
+            yield from client.write(file_name, k * unit,
+                                    Payload.virtual(unit))
+
+    total = len(clients) * rounds * unit
+    result = run_clients(system, [writer(k) for k in range(len(clients))],
+                         "shared-stripe", bytes_written=total)
+    locks = sum(iod.locks.total_wait_time for iod in system.iods)
+    result.extra["lock_wait_time"] = locks
+    return result

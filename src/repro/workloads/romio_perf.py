@@ -1,0 +1,55 @@
+"""The ROMIO ``perf`` benchmark (Section 6.4).
+
+An MPI program where every client writes one large buffer (4 MB by
+default) at offset ``rank * buffer_size`` of a shared file, then reads it
+back.  The paper reports bandwidth *after the file is flushed to disk*, so
+the write phase here includes an fsync.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.csar.system import System
+from repro.storage.payload import Payload
+from repro.units import MiB
+from repro.workloads.base import WorkloadResult, ensure_file, run_clients
+
+
+def perf_benchmark(system: System, buffer_size: int = 4 * MiB,
+                   rounds: int = 4, include_flush: bool = True,
+                   file_name: str = "perf",
+                   ) -> Dict[str, WorkloadResult]:
+    """Run perf with every configured client; returns write/read results."""
+    clients = system.clients
+    nprocs = len(clients)
+    stride = nprocs * buffer_size
+
+    def setup():
+        yield from ensure_file(system.client(0), file_name)
+
+    system.run(setup())
+
+    def writer(rank):
+        client = clients[rank]
+        yield from client.open(file_name)
+        for r in range(rounds):
+            offset = r * stride + rank * buffer_size
+            yield from client.write(file_name, offset,
+                                    Payload.virtual(buffer_size))
+        if include_flush:
+            yield from client.fsync(file_name)
+
+    total = nprocs * rounds * buffer_size
+    write = run_clients(system, [writer(k) for k in range(nprocs)],
+                        "perf-write", bytes_written=total)
+
+    def reader(rank):
+        client = clients[rank]
+        for r in range(rounds):
+            offset = r * stride + rank * buffer_size
+            yield from client.read(file_name, offset, buffer_size)
+
+    read = run_clients(system, [reader(k) for k in range(nprocs)],
+                       "perf-read", bytes_read=total)
+    return {"write": write, "read": read}

@@ -1,0 +1,87 @@
+"""Tests for CSARConfig validation and profile resolution."""
+
+import pytest
+
+from repro.csar.config import CSARConfig
+from repro.errors import ConfigError
+from repro.hw.params import get_profile
+from repro.units import KiB, MiB
+
+
+class TestValidation:
+    def test_defaults_match_paper_setup(self):
+        cfg = CSARConfig()
+        assert cfg.scheme == "hybrid"
+        assert cfg.num_servers == 6
+        assert cfg.stripe_unit == 64 * KiB
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ConfigError):
+            CSARConfig(num_servers=0)
+
+    def test_zero_clients_rejected(self):
+        with pytest.raises(ConfigError):
+            CSARConfig(num_clients=0)
+
+    def test_bad_stripe_unit_rejected(self):
+        with pytest.raises(ConfigError):
+            CSARConfig(stripe_unit=0)
+
+    @pytest.mark.parametrize("scheme", ["raid5", "hybrid"])
+    def test_parity_schemes_need_two_servers(self, scheme):
+        with pytest.raises(ConfigError):
+            CSARConfig(scheme=scheme, num_servers=1)
+
+    def test_raid0_allows_single_server(self):
+        assert CSARConfig(scheme="raid0", num_servers=1)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            CSARConfig(profile="beowulf")
+
+
+class TestProfileResolution:
+    def test_named_profile(self):
+        cfg = CSARConfig(profile="osc")
+        assert cfg.resolved_profile.name == "osc"
+
+    def test_profile_object_passthrough(self):
+        prof = get_profile("osu8")
+        cfg = CSARConfig(profile=prof)
+        assert cfg.resolved_profile is prof
+
+    def test_scale_shrinks_cache(self):
+        full = CSARConfig(profile="osu8")
+        tenth = CSARConfig(profile="osu8", scale=0.1)
+        assert tenth.resolved_profile.cache.capacity == pytest.approx(
+            full.resolved_profile.cache.capacity * 0.1, rel=0.01)
+
+    def test_scale_does_not_touch_rates(self):
+        full = CSARConfig(profile="osu8")
+        tenth = CSARConfig(profile="osu8", scale=0.1)
+        assert (tenth.resolved_profile.network.bandwidth
+                == full.resolved_profile.network.bandwidth)
+        assert (tenth.resolved_profile.disk.bandwidth
+                == full.resolved_profile.disk.bandwidth)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            CSARConfig(scale=-1)
+
+    def test_scaled_cache_has_floor(self):
+        cfg = CSARConfig(scale=1e-9)
+        assert cfg.resolved_profile.cache.capacity >= \
+            4 * cfg.resolved_profile.cache.block_size
+
+    def test_dirty_limits_derived(self):
+        cache = CSARConfig().resolved_profile.cache
+        assert 0 < cache.background_limit < cache.dirty_limit \
+            < cache.capacity
+
+    def test_profile_registry_complete(self):
+        from repro.hw.params import PROFILES
+        assert set(PROFILES) == {"osu8", "osc"}
+        for prof in PROFILES.values():
+            assert prof.cache.capacity > 64 * MiB
+            assert prof.network.bandwidth > 0
+            assert prof.cpu.byte_rate < prof.network.bandwidth

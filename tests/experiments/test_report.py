@@ -1,0 +1,51 @@
+"""Tests for the claim-checklist report."""
+
+from repro.cli import main
+from repro.experiments.base import ExpTable
+from repro.experiments.report import CLAIMS, Claim, run_report
+
+
+class TestClaimMachinery:
+    def test_claims_cover_every_figure_family(self):
+        experiments = {c.experiment for c in CLAIMS}
+        assert {"fig3", "fig4a", "fig4b", "fig5a", "fig6b", "fig7a",
+                "fig8", "table2"} <= experiments
+
+    def test_report_runs_each_experiment_once(self):
+        calls = []
+
+        def fake_check(table):
+            return True, "ok"
+
+        # Two claims on one (cheap) experiment: fig1 must run once.
+        claims = [Claim("fig1", "a", fake_check),
+                  Claim("fig1", "b", fake_check)]
+        text, ok = run_report(claims=claims)
+        assert ok
+        assert text.count("[PASS]") == 2
+        del calls
+
+    def test_failing_claim_flips_verdict(self):
+        claims = [Claim("fig1", "always fails",
+                        lambda t: (False, "nope"))]
+        text, ok = run_report(claims=claims)
+        assert not ok
+        assert "[FAIL]" in text
+        assert "SOME CLAIMS FAILED" in text
+
+    def test_fast_claims_pass_at_default_scale(self):
+        # The cheap microbenchmark claims run in seconds and must pass.
+        fast = [c for c in CLAIMS if c.experiment in ("fig3", "fig4b")]
+        text, ok = run_report(claims=fast)
+        assert ok, text
+
+
+class TestCli:
+    def test_report_command_wires_up(self, capsys, monkeypatch):
+        import repro.experiments.report as report_mod
+
+        monkeypatch.setattr(
+            report_mod, "run_report",
+            lambda scale=None: ("# stub\n[PASS] x", True))
+        assert main(["report"]) == 0
+        assert "[PASS]" in capsys.readouterr().out

@@ -1,0 +1,85 @@
+"""Unit tests for the HDF5-lite binary format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.hdf5lite import format as fmt
+
+
+class TestSuperblock:
+    def test_roundtrip(self):
+        raw = fmt.pack_superblock(3, 9000, 200_000, 512)
+        assert len(raw) == fmt.SUPERBLOCK_SIZE
+        assert fmt.unpack_superblock(raw) == (3, 9000, 200_000, 512)
+
+    def test_bad_magic_rejected(self):
+        raw = b"XXXX" + fmt.pack_superblock(0, 0, 0, 0)[4:]
+        with pytest.raises(ProtocolError):
+            fmt.unpack_superblock(raw)
+
+    def test_short_block_rejected(self):
+        with pytest.raises(ProtocolError):
+            fmt.unpack_superblock(b"H5")
+
+
+class TestDatasetHeader:
+    def test_roundtrip(self):
+        info = fmt.DatasetInfo(name="unk01", dtype_size=8,
+                               shape=(8, 8, 8, 100), data_addr=65536,
+                               data_bytes=4096, n_attrs=2)
+        raw = fmt.pack_dataset_header(info)
+        assert len(raw) == fmt.HEADER_SIZE
+        back = fmt.unpack_dataset_header(raw)
+        assert back == info
+        assert back.n_elems == 8 * 8 * 8 * 100
+
+    def test_scalar_dataset(self):
+        info = fmt.DatasetInfo(name="t", dtype_size=8, shape=(),
+                               data_addr=0, data_bytes=0)
+        assert fmt.unpack_dataset_header(
+            fmt.pack_dataset_header(info)).n_elems == 1
+
+    def test_long_name_rejected(self):
+        info = fmt.DatasetInfo(name="x" * 100, dtype_size=8, shape=(1,),
+                               data_addr=0, data_bytes=0)
+        with pytest.raises(ProtocolError):
+            fmt.pack_dataset_header(info)
+
+    def test_too_many_dims_rejected(self):
+        info = fmt.DatasetInfo(name="d", dtype_size=8, shape=(1,) * 9,
+                               data_addr=0, data_bytes=0)
+        with pytest.raises(ProtocolError):
+            fmt.pack_dataset_header(info)
+
+
+class TestAttributes:
+    def test_heap_roundtrip(self):
+        heap = (fmt.pack_attribute(0, "units", b"cm")
+                + fmt.pack_attribute(2, "time", b"12.5"))
+        records = fmt.unpack_attributes(heap)
+        assert records == [(0, "units", b"cm"), (2, "time", b"12.5")]
+
+    def test_empty_heap(self):
+        assert fmt.unpack_attributes(b"") == []
+
+    def test_truncated_heap_rejected(self):
+        with pytest.raises(ProtocolError):
+            fmt.unpack_attributes(b"\x01\x02\x03")
+
+
+@settings(max_examples=80, deadline=None)
+@given(name=st.text(alphabet=st.characters(min_codepoint=97,
+                                           max_codepoint=122),
+                    min_size=1, max_size=30),
+       dtype=st.integers(1, 16),
+       shape=st.lists(st.integers(1, 64), max_size=4),
+       addr=st.integers(0, 1 << 40),
+       nbytes=st.integers(0, 1 << 30),
+       nattrs=st.integers(0, 100))
+def test_header_roundtrip_property(name, dtype, shape, addr, nbytes, nattrs):
+    info = fmt.DatasetInfo(name=name, dtype_size=dtype, shape=tuple(shape),
+                           data_addr=addr, data_bytes=nbytes,
+                           n_attrs=nattrs)
+    assert fmt.unpack_dataset_header(fmt.pack_dataset_header(info)) == info

@@ -1,0 +1,265 @@
+"""End-to-end HDF5-lite tests over a CSAR cluster."""
+
+import pytest
+
+from repro import CSARConfig, Payload, System
+from repro.errors import ProtocolError
+from repro.hdf5lite import H5File, H5Reader
+from repro.units import KiB
+from repro.util.trace import TraceRecorder
+
+
+def make_system(scheme="hybrid"):
+    return System(CSARConfig(scheme=scheme, num_servers=6, num_clients=1,
+                             stripe_unit=16 * KiB, content_mode=True))
+
+
+class TestWriteRead:
+    def test_dataset_roundtrip(self):
+        system = make_system()
+        client = system.client()
+        data = Payload.pattern(8 * 8 * 8 * 8, seed=1)
+
+        def work():
+            f = H5File(client, "ckpt.h5")
+            yield from f.create()
+            yield from f.create_dataset("dens", shape=(8, 8, 8), dtype_size=8)
+            yield from f.write_chunk("dens", 0, data)
+            r = H5Reader(client, "ckpt.h5")
+            yield from r.open()
+            out = yield from r.read_data("dens")
+            return r, out
+
+        reader, out = system.run(work())
+        assert out == data
+        info = reader.dataset("dens")
+        assert info.shape == (8, 8, 8)
+        assert info.data_bytes == data.length
+
+    def test_multiple_datasets_do_not_overlap(self):
+        system = make_system()
+        client = system.client()
+        a = Payload.pattern(4096, seed=2)
+        b = Payload.pattern(4096, seed=3)
+
+        def work():
+            f = H5File(client, "x.h5")
+            yield from f.create()
+            yield from f.create_dataset("a", shape=(512,), dtype_size=8)
+            yield from f.create_dataset("b", shape=(512,), dtype_size=8)
+            yield from f.write_chunk("a", 0, a)
+            yield from f.write_chunk("b", 0, b)
+            r = H5Reader(client, "x.h5")
+            yield from r.open()
+            out_a = yield from r.read_data("a")
+            out_b = yield from r.read_data("b")
+            return out_a, out_b
+
+        out_a, out_b = system.run(work())
+        assert out_a == a and out_b == b
+
+    def test_partial_chunked_writes(self):
+        system = make_system()
+        client = system.client()
+        chunks = [Payload.pattern(1024, seed=10 + i) for i in range(4)]
+
+        def work():
+            f = H5File(client, "x.h5")
+            yield from f.create()
+            yield from f.create_dataset("v", shape=(512,), dtype_size=8)
+            for i, chunk in enumerate(chunks):
+                yield from f.write_chunk("v", i * 128, chunk)
+            r = H5Reader(client, "x.h5")
+            yield from r.open()
+            out = yield from r.read_data("v")
+            return out
+
+        out = system.run(work())
+        expected = Payload.assemble(4096, [(i * 1024, c)
+                                           for i, c in enumerate(chunks)])
+        assert out == expected
+
+    def test_attributes_roundtrip(self):
+        system = make_system()
+        client = system.client()
+
+        def work():
+            f = H5File(client, "x.h5")
+            yield from f.create()
+            yield from f.create_dataset("v", shape=(16,), dtype_size=8)
+            yield from f.set_attribute("v", "units", b"g/cm^3")
+            yield from f.set_attribute("v", "time", b"0.125")
+            yield from f.create_dataset("w", shape=(16,), dtype_size=8)
+            yield from f.set_attribute("w", "units", b"K")
+            r = H5Reader(client, "x.h5")
+            yield from r.open()
+            return r
+
+        reader = system.run(work())
+        assert reader.attributes("v") == {"units": b"g/cm^3",
+                                          "time": b"0.125"}
+        assert reader.attributes("w") == {"units": b"K"}
+
+    def test_chunk_outside_extent_rejected(self):
+        system = make_system()
+        client = system.client()
+
+        def work():
+            f = H5File(client, "x.h5")
+            yield from f.create()
+            yield from f.create_dataset("v", shape=(8,), dtype_size=8)
+            with pytest.raises(ProtocolError):
+                yield from f.write_chunk("v", 0, Payload.zeros(1000))
+
+        system.run(work())
+
+    def test_duplicate_dataset_rejected(self):
+        system = make_system()
+        client = system.client()
+
+        def work():
+            f = H5File(client, "x.h5")
+            yield from f.create()
+            yield from f.create_dataset("v", shape=(8,))
+            with pytest.raises(ProtocolError):
+                yield from f.create_dataset("v", shape=(8,))
+
+        system.run(work())
+
+
+class TestEmergentAccessPattern:
+    def test_flash_like_checkpoint_produces_papers_request_mix(self):
+        # A FLASH-style checkpoint (24 variables, annotated, written in
+        # block-sized chunks) must organically produce HDF5's signature:
+        # many sub-2 KB metadata writes at low offsets interleaved with
+        # large data writes — what Section 6.6/6.7 reports.
+        system = System(CSARConfig(scheme="raid0", num_servers=6,
+                                   num_clients=1, stripe_unit=64 * KiB,
+                                   content_mode=False))
+        client = system.client()
+        recorder = TraceRecorder(system)
+        n_vars = 24
+        blocks = 16
+        cells_per_block = 16 ** 3  # 4096 elems x 8 B = 32 KiB per chunk
+
+        def work():
+            f = H5File(client, "flash.h5")
+            yield from f.create()
+            for v in range(n_vars):
+                name = f"unk{v:02d}"
+                yield from f.create_dataset(
+                    name, shape=(blocks, cells_per_block), dtype_size=8)
+                yield from f.set_attribute(name, "units", b"cgs")
+                for b in range(blocks):
+                    yield from f.write_chunk(
+                        name, b * cells_per_block,
+                        Payload.virtual(cells_per_block * 8))
+
+        system.run(work())
+        trace = recorder.detach()
+        stats = trace.stats("write")
+        # Small metadata writes are a large fraction of all requests
+        # (FLASH: 37-46% in the paper)...
+        assert 0.3 < stats["small_fraction_2k"] < 0.75
+        # ...while the bytes are dominated by the 32 KiB data chunks.
+        assert stats["median"] <= 2048
+        assert stats["max"] == cells_per_block * 8
+        # Metadata rewrites hammer the file head (superblock at 0).
+        superblock_writes = sum(1 for r in trace
+                                if r.op == "write" and r.offset == 0)
+        assert superblock_writes >= n_vars
+
+    def test_hybrid_storage_overhead_emerges_from_hdf5_metadata(self):
+        # The Table 2 FLASH-at-64K effect, reproduced from first
+        # principles: HDF5-lite's header rewrites burn overflow slots.
+        def total(scheme):
+            system = System(CSARConfig(scheme=scheme, num_servers=6,
+                                       num_clients=1, stripe_unit=64 * KiB,
+                                       content_mode=False))
+            client = system.client()
+
+            def work():
+                f = H5File(client, "x.h5")
+                yield from f.create()
+                for v in range(16):
+                    name = f"v{v}"
+                    yield from f.create_dataset(name, shape=(4096,),
+                                                dtype_size=8)
+                    yield from f.write_chunk(name, 0,
+                                             Payload.virtual(4096 * 8))
+
+            system.run(work())
+            return system.storage_report("x.h5")["total"]
+
+        assert total("hybrid") > total("raid1")
+
+
+class TestReaderRobustness:
+    def test_reader_rejects_non_hdf5_file(self):
+        system = make_system()
+        client = system.client()
+
+        def work():
+            yield from client.create("garbage")
+            yield from client.write("garbage", 0,
+                                    Payload.from_bytes(b"not an h5 file" * 40))
+            r = H5Reader(client, "garbage")
+            with pytest.raises(ProtocolError):
+                yield from r.open()
+
+        system.run(work())
+
+    def test_unknown_dataset_rejected(self):
+        system = make_system()
+        client = system.client()
+
+        def work():
+            f = H5File(client, "x.h5")
+            yield from f.create()
+            r = H5Reader(client, "x.h5")
+            yield from r.open()
+            with pytest.raises(ProtocolError):
+                r.dataset("ghost")
+
+        system.run(work())
+
+    def test_header_table_capacity_enforced(self):
+        system = make_system()
+        client = system.client()
+
+        def work():
+            f = H5File(client, "x.h5")
+            yield from f.create(max_datasets=2)
+            yield from f.create_dataset("a", shape=(4,))
+            yield from f.create_dataset("b", shape=(4,))
+            with pytest.raises(ProtocolError):
+                yield from f.create_dataset("c", shape=(4,))
+
+        system.run(work())
+
+    def test_file_survives_server_failure_under_hybrid(self):
+        # The whole point of running HDF5 over CSAR: a container file's
+        # metadata *and* data survive a disk failure byte-exactly.
+        system = make_system(scheme="hybrid")
+        client = system.client()
+        data = Payload.pattern(8 * 512, seed=77)
+
+        def build():
+            f = H5File(client, "x.h5")
+            yield from f.create()
+            yield from f.create_dataset("v", shape=(512,), dtype_size=8)
+            yield from f.set_attribute("v", "units", b"K")
+            yield from f.write_chunk("v", 0, data)
+
+        system.run(build())
+        system.fail_server(0)
+
+        def reopen():
+            r = H5Reader(client, "x.h5")
+            yield from r.open()
+            out = yield from r.read_data("v")
+            return r, out
+
+        reader, out = system.run(reopen())
+        assert out == data
+        assert reader.attributes("v") == {"units": b"K"}

@@ -1,0 +1,121 @@
+"""Tests for the flow-level network model."""
+
+import pytest
+
+from repro.hw.link import NIC, transfer
+from repro.hw.params import NetworkParams
+from repro.metrics import Metrics
+from repro.sim import Environment
+from repro.units import MBps
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_nic(env, name, bw=100 * MBps, latency=1e-4, per_message=1e-5):
+    return NIC(env, name, NetworkParams(bandwidth=bw, latency=latency,
+                                        per_message=per_message))
+
+
+class TestTransfer:
+    def test_single_flow_time(self, env):
+        a, b = make_nic(env, "a"), make_nic(env, "b")
+
+        def proc():
+            yield env.process(transfer(env, a, b, 10_000_000))
+            return env.now
+
+        p = env.process(proc())
+        elapsed = env.run(until=p)
+        # 10 MB at 100 MB/s = 0.1 s, plus per-message and latency.
+        assert elapsed == pytest.approx(0.1 + 1e-5 + 1e-4)
+
+    def test_bottleneck_is_slower_side(self, env):
+        fast = make_nic(env, "fast", bw=200 * MBps)
+        slow = make_nic(env, "slow", bw=50 * MBps)
+
+        def proc():
+            yield env.process(transfer(env, fast, slow, 50_000_000))
+            return env.now
+
+        p = env.process(proc())
+        assert env.run(until=p) == pytest.approx(1.0, rel=0.01)
+
+    def test_sender_serializes_concurrent_flows(self, env):
+        src = make_nic(env, "src")
+        dsts = [make_nic(env, f"d{i}") for i in range(4)]
+        done = []
+
+        def flow(dst):
+            yield env.process(transfer(env, src, dst, 10_000_000))
+            done.append(env.now)
+
+        for dst in dsts:
+            env.process(flow(dst))
+        env.run()
+        # 4 x 10 MB through one 100 MB/s NIC: last completes at >= 0.4 s.
+        assert max(done) >= 0.4
+
+    def test_receiver_serializes_incast(self, env):
+        srcs = [make_nic(env, f"s{i}") for i in range(4)]
+        dst = make_nic(env, "dst")
+        done = []
+
+        def flow(src):
+            yield env.process(transfer(env, src, dst, 10_000_000))
+            done.append(env.now)
+
+        for src in srcs:
+            env.process(flow(src))
+        env.run()
+        assert max(done) >= 0.4
+
+    def test_disjoint_pairs_run_in_parallel(self, env):
+        pairs = [(make_nic(env, f"a{i}"), make_nic(env, f"b{i}"))
+                 for i in range(4)]
+        done = []
+
+        def flow(a, b):
+            yield env.process(transfer(env, a, b, 10_000_000))
+            done.append(env.now)
+
+        for a, b in pairs:
+            env.process(flow(a, b))
+        env.run()
+        # Independent pairs all finish in ~0.1 s.
+        assert max(done) == pytest.approx(0.1 + 1e-5 + 1e-4)
+
+    def test_loopback_is_nearly_free(self, env):
+        a = make_nic(env, "a")
+
+        def proc():
+            yield env.process(transfer(env, a, a, 10_000_000))
+            return env.now
+
+        p = env.process(proc())
+        assert env.run(until=p) == pytest.approx(1e-5)
+
+    def test_metrics_recorded(self, env):
+        metrics = Metrics()
+        a, b = make_nic(env, "a"), make_nic(env, "b")
+
+        def proc():
+            yield env.process(transfer(env, a, b, 1234, metrics))
+
+        env.process(proc())
+        env.run()
+        assert metrics.node_tx_bytes["a"] == 1234
+        assert metrics.node_rx_bytes["b"] == 1234
+        assert metrics.get("net.bytes") == 1234
+
+    def test_negative_size_rejected(self, env):
+        a, b = make_nic(env, "a"), make_nic(env, "b")
+
+        def proc():
+            yield env.process(transfer(env, a, b, -1))
+
+        p = env.process(proc())
+        with pytest.raises(ValueError):
+            env.run(until=p)

@@ -1,0 +1,83 @@
+"""Tests for MPI-lite access patterns."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpiio.datatypes import AccessPattern, contiguous, merge, strided
+from repro.util.intervals import Extent
+
+
+class TestConstruction:
+    def test_contiguous(self):
+        p = contiguous(100, 50)
+        assert p.pieces == ((100, 50),)
+        assert p.total_bytes == 50
+        assert p.extent == (100, 150)
+
+    def test_strided(self):
+        p = strided(0, block=10, stride=100, count=3)
+        assert p.pieces == ((0, 10), (100, 10), (200, 10))
+        assert p.total_bytes == 30
+        assert p.extent == (0, 210)
+
+    def test_adjacent_blocks_allowed(self):
+        p = strided(0, block=10, stride=10, count=3)
+        assert p.total_bytes == 30
+
+    def test_overlapping_stride_rejected(self):
+        with pytest.raises(ValueError):
+            strided(0, block=20, stride=10, count=2)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPattern(((100, 10), (0, 10)))
+
+    def test_overlapping_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPattern(((0, 10), (5, 10)))
+
+    def test_empty_pattern(self):
+        p = AccessPattern(())
+        assert p.total_bytes == 0
+        assert p.extent == (0, 0)
+
+
+class TestClip:
+    def test_clip_inside_piece(self):
+        p = contiguous(0, 100)
+        assert p.clip(20, 30).pieces == ((20, 10),)
+
+    def test_clip_across_pieces(self):
+        p = strided(0, block=10, stride=50, count=3)
+        clipped = p.clip(5, 105)
+        assert clipped.pieces == ((5, 5), (50, 10), (100, 5))
+
+    def test_clip_outside(self):
+        p = contiguous(0, 10)
+        assert p.clip(20, 30).pieces == ()
+
+
+class TestMerge:
+    def test_merge_disjoint(self):
+        region = merge([contiguous(0, 10), contiguous(20, 10)])
+        assert list(region) == [Extent(0, 10), Extent(20, 30)]
+
+    def test_merge_interleaved_strides_coalesce(self):
+        # Two ranks with complementary strides tile a contiguous region —
+        # the case two-phase I/O exists for.
+        a = strided(0, block=10, stride=20, count=4)
+        b = strided(10, block=10, stride=20, count=4)
+        region = merge([a, b])
+        assert list(region) == [Extent(0, 80)]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 1000), st.integers(1, 50), st.integers(0, 2000),
+       st.integers(0, 2000))
+def test_clip_preserves_bytes(offset, length, a, b):
+    lo, hi = min(a, b), max(a, b)
+    p = contiguous(offset, length)
+    clipped = p.clip(lo, hi)
+    expected = max(0, min(offset + length, hi) - max(offset, lo))
+    assert clipped.total_bytes == expected

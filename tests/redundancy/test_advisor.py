@@ -1,0 +1,118 @@
+"""Tests for the scheme advisor, validated against simulation."""
+
+import pytest
+
+from repro import CSARConfig, Payload, StripeLayout, System
+from repro.errors import ConfigError
+from repro.redundancy.advisor import (
+    advise,
+    estimate,
+    estimate_from_trace,
+    recommend,
+)
+from repro.units import KiB
+from repro.util.trace import Trace, TraceRecord
+
+LAYOUT = StripeLayout(64 * KiB, 6)  # span = 320 KiB
+SPAN = LAYOUT.group_span
+
+
+class TestEstimates:
+    def test_full_stripe_workload(self):
+        est = estimate([(0, 10 * SPAN)], LAYOUT)
+        assert est["raid5"].network_amplification == pytest.approx(1.2)
+        assert est["hybrid"].network_amplification == pytest.approx(1.2)
+        assert est["raid1"].network_amplification == 2.0
+        assert est["hybrid"].rmw_phases == 0.0
+
+    def test_small_write_workload(self):
+        writes = [(i * SPAN, 64 * KiB) for i in range(10)]
+        est = estimate(writes, LAYOUT)
+        assert est["hybrid"].network_amplification == pytest.approx(2.0)
+        assert est["raid5"].rmw_phases == 1.0
+        assert est["raid5"].network_amplification > 2.0  # RMW reads
+
+    def test_mixed_workload_interpolates(self):
+        writes = [(0, 10 * SPAN), (20 * SPAN, 64 * KiB)]
+        est = estimate(writes, LAYOUT)
+        assert 1.2 < est["hybrid"].network_amplification < 2.0
+
+    def test_no_traffic_rejected(self):
+        with pytest.raises(ConfigError):
+            estimate([], LAYOUT)
+        with pytest.raises(ConfigError):
+            estimate([(0, 0)], LAYOUT)
+
+    def test_single_server_rejected(self):
+        with pytest.raises(ConfigError):
+            estimate([(0, 100)], StripeLayout(64 * KiB, 1))
+
+
+class TestRecommendation:
+    def test_large_writes_pick_a_parity_scheme(self):
+        est = estimate([(0, 50 * SPAN)], LAYOUT)
+        assert recommend(est) in ("raid5", "hybrid")
+
+    def test_small_writes_pick_hybrid_or_raid1(self):
+        writes = [(i * SPAN + 7, 8 * KiB) for i in range(20)]
+        est = estimate(writes, LAYOUT)
+        assert recommend(est) in ("raid1", "hybrid")
+
+    def test_hybrid_wins_mixed_workloads(self):
+        writes = [(0, 10 * SPAN)] + [(100 * SPAN + i * SPAN + 3, 16 * KiB)
+                                     for i in range(10)]
+        est = estimate(writes, LAYOUT)
+        assert recommend(est) == "hybrid"
+
+    def test_storage_weight_can_flip_to_raid5(self):
+        # A half-partial workload: Hybrid wins on bandwidth, but its
+        # overflow copies cost storage — weighting storage heavily flips
+        # the recommendation to RAID5 (the traditional priority the paper
+        # argues against).
+        writes = [(0, 5 * SPAN)] + [((10 + i) * SPAN + 3, SPAN // 2)
+                                    for i in range(10)]
+        est = estimate(writes, LAYOUT)
+        assert recommend(est, storage_weight=0.25) == "hybrid"
+        assert recommend(est, storage_weight=10.0) == "raid5"
+
+
+class TestAgainstSimulation:
+    def _simulated_amplification(self, scheme, writes):
+        system = System(CSARConfig(scheme=scheme, num_servers=6,
+                                   num_clients=1, stripe_unit=64 * KiB,
+                                   content_mode=False))
+        client = system.client()
+
+        def work():
+            yield from client.create("f")
+            for offset, length in writes:
+                yield from client.write("f", offset,
+                                        Payload.virtual(length))
+
+        system.run(work())
+        tx = system.metrics.node_tx_bytes["client0"]
+        return tx / sum(length for _o, length in writes)
+
+    @pytest.mark.parametrize("writes", [
+        [(0, 10 * SPAN)],
+        [(i * SPAN, 64 * KiB) for i in range(8)],
+        [(0, 3 * SPAN), (10 * SPAN + 9, 100 * KiB)],
+    ])
+    def test_network_amplification_matches_simulation(self, writes):
+        est = estimate(writes, LAYOUT)
+        for scheme in ("raid1", "hybrid"):
+            predicted = est[scheme].network_amplification
+            measured = self._simulated_amplification(scheme, writes)
+            assert measured == pytest.approx(predicted, rel=0.08)
+
+    def test_trace_driven_advice(self):
+        trace = Trace([TraceRecord(0.0, 0, "write", "f", i * SPAN + 3,
+                                   12 * KiB) for i in range(10)]
+                      + [TraceRecord(1.0, 0, "read", "f", 0, SPAN)])
+        choice, ordered = advise(trace, LAYOUT)
+        assert choice in ("raid1", "hybrid")
+        assert ordered[0].network_amplification \
+            <= ordered[-1].network_amplification
+        # Reads are ignored by the estimator.
+        est = estimate_from_trace(trace, LAYOUT)
+        assert est["raid1"].network_amplification == 2.0

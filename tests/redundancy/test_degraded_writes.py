@@ -1,0 +1,190 @@
+"""Degraded writes: the cluster stays available while one server is down.
+
+Each scenario verifies the full availability story: write during the
+failure, read back correctly (degraded reads), rebuild the server, scrub
+clean, and read again from the fully-repaired cluster.
+"""
+
+import pytest
+
+from repro import CSARConfig, DataLoss, Payload, System
+from repro.redundancy import scrub
+from repro.redundancy.recovery import rebuild_server
+from repro.units import KiB
+
+UNIT = 4 * KiB
+
+
+def make_system(scheme, servers=6, **kw):
+    return System(CSARConfig(scheme=scheme, num_servers=servers,
+                             num_clients=1, stripe_unit=UNIT,
+                             content_mode=True, **kw))
+
+
+def run_write(system, name, chunks):
+    client = system.client()
+
+    def work():
+        from repro.errors import FileExists
+        try:
+            yield from client.create(name)
+        except FileExists:
+            yield from client.open(name)
+        for offset, payload in chunks:
+            yield from client.write(name, offset, payload)
+
+    system.run(work())
+
+
+def read_back(system, name, length):
+    client = system.client()
+
+    def work():
+        out = yield from client.read(name, 0, length)
+        return out
+
+    return system.run(work())
+
+
+def expected_content(chunks, length):
+    out = Payload.zeros(length)
+    for offset, payload in chunks:
+        out = out.overlay(offset, payload).slice(0, length)
+    return out
+
+
+REDUNDANT = ["raid1", "raid5", "hybrid"]
+
+
+class TestWriteDuringFailure:
+    @pytest.mark.parametrize("scheme", REDUNDANT)
+    @pytest.mark.parametrize("failed", [0, 3, 5])
+    def test_mixed_writes_survive_one_failure(self, scheme, failed):
+        system = make_system(scheme)
+        span = system.layout.group_span
+        before = [(0, Payload.pattern(2 * span, seed=1))]
+        run_write(system, "f", before)
+        system.fail_server(failed)
+        during = [
+            (2 * span, Payload.pattern(span, seed=2)),        # full group
+            (3 * span + 37, Payload.pattern(999, seed=3)),    # small
+            (span // 2, Payload.pattern(span // 3, seed=4)),  # overwrite
+        ]
+        run_write(system, "f", during)
+        length = 4 * span
+        expected = expected_content(before + during, length)
+        assert read_back(system, "f", length) == expected
+        assert system.metrics.get("client.degraded_writes") > 0
+
+    @pytest.mark.parametrize("scheme", REDUNDANT)
+    def test_rebuild_after_degraded_writes(self, scheme):
+        system = make_system(scheme)
+        span = system.layout.group_span
+        before = [(0, Payload.pattern(2 * span, seed=5))]
+        run_write(system, "f", before)
+        system.fail_server(1)
+        during = [(span // 4, Payload.pattern(span, seed=6)),
+                  (2 * span + 11, Payload.pattern(777, seed=7))]
+        run_write(system, "f", during)
+        system.run(rebuild_server(system, 1))
+        length = 3 * span
+        expected = expected_content(before + during, length)
+        assert read_back(system, "f", length) == expected
+        assert scrub.scrub(system, "f") == []
+        # The acid test: a different server can now fail.
+        system.fail_server(4)
+        assert read_back(system, "f", length) == expected
+
+    def test_raid5_rmw_with_failed_data_server(self):
+        # The delicate case: a partial-stripe write whose target block
+        # lives on the failed server.  The parity update must imply the
+        # new data via reconstruction of the old bytes.
+        system = make_system("raid5")
+        span = system.layout.group_span
+        base = Payload.pattern(span, seed=8)
+        run_write(system, "f", [(0, base)])
+        # Block 0 lives on server 0; fail it, then rewrite part of block 0.
+        system.fail_server(0)
+        patch = Payload.pattern(UNIT // 2, seed=9)
+        run_write(system, "f", [(100, patch)])
+        expected = base.overlay(100, patch).slice(0, span)
+        assert read_back(system, "f", span) == expected
+
+    def test_raid5_rmw_with_failed_parity_server(self):
+        system = make_system("raid5")
+        span = system.layout.group_span
+        base = Payload.pattern(span, seed=10)
+        run_write(system, "f", [(0, base)])
+        # Parity of group 0 lives on server n-1 = 5.
+        assert system.layout.parity_server(0) == 5
+        system.fail_server(5)
+        patch = Payload.pattern(UNIT, seed=11)
+        run_write(system, "f", [(UNIT + 5, patch)])
+        expected = base.overlay(UNIT + 5, patch).slice(0, span)
+        assert read_back(system, "f", span) == expected
+        # After rebuild the parity is consistent again.
+        system.run(rebuild_server(system, 5))
+        assert scrub.scrub(system, "f") == []
+
+    def test_hybrid_overflow_home_down_mirror_carries(self):
+        system = make_system("hybrid")
+        system.fail_server(0)  # home of block 0
+        data = Payload.pattern(UNIT // 2, seed=12)
+        run_write(system, "f", [(0, data)])  # partial stripe -> overflow
+        assert read_back(system, "f", data.length) == data
+
+    def test_hybrid_overflow_mirror_down_home_carries(self):
+        system = make_system("hybrid")
+        system.fail_server(1)  # mirror of server 0's overflow
+        data = Payload.pattern(UNIT // 2, seed=13)
+        run_write(system, "f", [(0, data)])
+        assert read_back(system, "f", data.length) == data
+
+    def test_raid0_write_to_failed_server_is_fatal(self):
+        from repro.errors import ServerFailed
+
+        system = make_system("raid0")
+        system.fail_server(0)
+        with pytest.raises(ServerFailed):
+            run_write(system, "f", [(0, Payload.zeros(4 * UNIT))])
+
+    def test_two_failures_are_data_loss(self):
+        system = make_system("raid1")
+        run_write(system, "f", [(0, Payload.zeros(12 * UNIT))])
+        system.fail_server(0)
+        system.fail_server(3)
+        with pytest.raises(DataLoss):
+            run_write(system, "f", [(0, Payload.zeros(12 * UNIT))])
+
+
+class TestFailureSuspicion:
+    def test_reads_fail_fast_after_first_failure(self):
+        system = make_system("raid5")
+        span = system.layout.group_span
+        data = Payload.pattern(2 * span, seed=20)
+        run_write(system, "f", [(0, data)])
+        system.fail_server(1)
+        assert read_back(system, "f", data.length) == data
+        assert 1 in system.client(0).suspected
+        # The second read never contacts the dead server.
+        rx_before = system.metrics.node_rx_bytes.get("iod1", 0)
+        assert read_back(system, "f", data.length) == data
+        assert system.metrics.node_rx_bytes.get("iod1", 0) == rx_before
+        assert system.metrics.get("client.failfast_reads") > 0
+
+    def test_rebuild_clears_suspicion(self):
+        from repro.redundancy.recovery import rebuild_server
+
+        system = make_system("hybrid")
+        span = system.layout.group_span
+        data = Payload.pattern(2 * span, seed=21)
+        run_write(system, "f", [(0, data)])
+        system.fail_server(3)
+        read_back(system, "f", data.length)
+        assert 3 in system.client(0).suspected
+        system.run(rebuild_server(system, 3))
+        assert 3 not in system.client(0).suspected
+        # Reads go to the rebuilt server again (no degraded path).
+        before = system.metrics.get("client.degraded_reads")
+        assert read_back(system, "f", data.length) == data
+        assert system.metrics.get("client.degraded_reads") == before

@@ -1,0 +1,106 @@
+"""Scheme correctness at unusual cluster geometries.
+
+The paper evaluates at 6 servers / 64 KiB units; a library must hold up
+everywhere: minimum parity width (n=2), odd server counts, tiny and huge
+stripe units, single-byte files.
+"""
+
+import pytest
+
+from repro import CSARConfig, Payload, System
+from repro.redundancy import scrub
+from repro.units import KiB, MiB
+
+
+def roundtrip_and_scrub(scheme, servers, unit, chunks):
+    system = System(CSARConfig(scheme=scheme, num_servers=servers,
+                               num_clients=1, stripe_unit=unit,
+                               content_mode=True))
+    client = system.client()
+
+    def work():
+        yield from client.create("f")
+        for offset, payload in chunks:
+            yield from client.write("f", offset, payload)
+
+    system.run(work())
+    size = max(off + p.length for off, p in chunks)
+    expected = Payload.zeros(size)
+    for off, p in chunks:
+        expected = expected.overlay(off, p).slice(0, size)
+
+    def read():
+        out = yield from client.read("f", 0, size)
+        return out
+
+    assert system.run(read()) == expected
+    assert scrub.scrub(system, "f") == []
+    return system
+
+
+MIXED = [(0, Payload.pattern(3000, seed=1)),
+         (5000, Payload.pattern(123, seed=2)),
+         (1000, Payload.pattern(4096, seed=3))]
+
+
+class TestMinimumParityWidth:
+    @pytest.mark.parametrize("scheme", ["raid5", "hybrid"])
+    def test_two_servers(self, scheme):
+        # Group width 1: parity degenerates to a copy of the single data
+        # block (RAID5 at n=2 is mirroring with extra steps).
+        roundtrip_and_scrub(scheme, servers=2, unit=1 * KiB, chunks=MIXED)
+
+    @pytest.mark.parametrize("scheme", ["raid5", "hybrid"])
+    def test_two_servers_failure(self, scheme):
+        system = roundtrip_and_scrub(scheme, 2, 1 * KiB, MIXED)
+        system.fail_server(0)
+        client = system.client()
+
+        def read():
+            out = yield from client.read("f", 0, 3000)
+            return out
+
+        expected = Payload.pattern(3000, seed=1).overlay(
+            1000, Payload.pattern(4096, seed=3)).slice(0, 3000)
+        assert system.run(read()) == expected
+
+
+class TestOddGeometries:
+    @pytest.mark.parametrize("servers", [3, 5, 7, 11])
+    def test_prime_server_counts(self, servers):
+        roundtrip_and_scrub("hybrid", servers, 2 * KiB, MIXED)
+
+    def test_tiny_stripe_unit(self):
+        roundtrip_and_scrub("hybrid", 4, 64, MIXED)  # 64-byte units
+
+    def test_huge_stripe_unit(self):
+        # Everything fits inside one block: all writes are partial-stripe.
+        system = roundtrip_and_scrub("hybrid", 6, 4 * MiB, MIXED)
+        assert system.overflow_stats("f")["live"] > 0
+
+    def test_single_byte_file(self):
+        roundtrip_and_scrub("raid5", 6, 4 * KiB,
+                            [(0, Payload.from_bytes(b"!"))])
+
+    def test_write_at_large_offset(self):
+        roundtrip_and_scrub("hybrid", 6, 4 * KiB,
+                            [(10 * MiB, Payload.pattern(5000, seed=9))])
+
+
+class TestRaid1SingleServer:
+    def test_raid1_one_server_mirrors_to_itself(self):
+        # Degenerate but allowed: documents the n=1 behaviour (mirror on
+        # the same node protects against bit rot, not node loss).
+        system = roundtrip_and_scrub("raid1", 1, 4 * KiB, MIXED)
+        report = system.storage_report("f")
+        assert report["red"] == report["data"]
+
+
+class TestManyServers:
+    def test_sixteen_servers(self):
+        system = roundtrip_and_scrub(
+            "raid5", 16, 4 * KiB,
+            [(0, Payload.pattern(20 * 15 * 4 * KiB, seed=4))])
+        # Parity overhead 1/15 at 16 servers.
+        report = system.storage_report("f")
+        assert report["red"] == pytest.approx(report["data"] / 15, rel=0.02)

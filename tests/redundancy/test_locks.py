@@ -1,0 +1,127 @@
+"""Tests for the parity lock table (Section 5.1 protocol)."""
+
+import pytest
+
+from repro.errors import LockProtocolError
+from repro.redundancy.locks import ParityLockTable
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestLockTable:
+    def test_acquire_release(self, env):
+        table = ParityLockTable(env)
+
+        def proc():
+            yield from table.acquire("f", 0, xid=1)
+            assert table.is_locked("f", 0)
+            table.release("f", 0, xid=1)
+            assert not table.is_locked("f", 0)
+
+        env.process(proc())
+        env.run()
+        assert table.acquisitions == 1
+        assert table.contended_acquisitions == 0
+
+    def test_fifo_contention(self, env):
+        table = ParityLockTable(env)
+        order = []
+
+        def writer(xid, hold):
+            yield from table.acquire("f", 0, xid=xid)
+            order.append(xid)
+            yield env.timeout(hold)
+            table.release("f", 0, xid=xid)
+
+        for xid in range(3):
+            env.process(writer(xid, hold=1.0))
+        env.run()
+        assert order == [0, 1, 2]
+        assert table.contended_acquisitions == 2
+        assert table.total_wait_time == pytest.approx(1.0 + 2.0)
+
+    def test_independent_groups_do_not_contend(self, env):
+        table = ParityLockTable(env)
+        starts = []
+
+        def writer(group):
+            yield from table.acquire("f", group, xid=group)
+            starts.append((group, env.now))
+            yield env.timeout(1.0)
+            table.release("f", group, xid=group)
+
+        for g in range(4):
+            env.process(writer(g))
+        env.run()
+        assert all(t == 0 for _g, t in starts)
+
+    def test_independent_files_do_not_contend(self, env):
+        table = ParityLockTable(env)
+        starts = []
+
+        def writer(name):
+            yield from table.acquire(name, 0, xid=hash(name) & 0xFF)
+            starts.append(env.now)
+            yield env.timeout(1.0)
+            table.release(name, 0, xid=hash(name) & 0xFF)
+
+        env.process(writer("a"))
+        env.process(writer("b"))
+        env.run()
+        assert starts == [0, 0]
+
+    def test_double_acquire_same_xid_rejected(self, env):
+        table = ParityLockTable(env)
+
+        def proc():
+            yield from table.acquire("f", 0, xid=7)
+            with pytest.raises(LockProtocolError):
+                yield from table.acquire("f", 0, xid=7)
+            table.release("f", 0, xid=7)
+
+        env.process(proc())
+        env.run()
+
+    def test_release_without_hold_rejected(self, env):
+        table = ParityLockTable(env)
+        with pytest.raises(LockProtocolError):
+            table.release("f", 0, xid=9)
+
+    def test_disabled_table_never_blocks(self, env):
+        table = ParityLockTable(env, enabled=False)
+        starts = []
+
+        def writer(xid):
+            yield from table.acquire("f", 0, xid=xid)
+            starts.append(env.now)
+            yield env.timeout(1.0)
+            table.release("f", 0, xid=xid)
+
+        for xid in range(3):
+            env.process(writer(xid))
+        env.run()
+        assert starts == [0, 0, 0]
+        assert table.acquisitions == 0
+
+    def test_ascending_order_prevents_deadlock(self, env):
+        # Two writers both needing groups {3, 5}: because each acquires in
+        # ascending order (the paper's rule), the run completes.
+        table = ParityLockTable(env)
+        finished = []
+
+        def writer(xid):
+            for group in (3, 5):
+                yield from table.acquire("f", group, xid=xid)
+                yield env.timeout(0.1)
+            for group in (3, 5):
+                table.release("f", group, xid=xid)
+            finished.append(xid)
+
+        env.process(writer(1))
+        env.process(writer(2))
+        env.run()
+        assert sorted(finished) == [1, 2]

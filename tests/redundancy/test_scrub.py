@@ -1,0 +1,172 @@
+"""The scrubber must actually detect corruption, not just pass clean
+states — these tests inject damage directly into server state."""
+
+import pytest
+
+from repro import CSARConfig, Payload, System
+from repro.errors import ConfigError
+from repro.pvfs.iod import data_file, ovf_file, red_file
+from repro.redundancy import scrub
+from repro.units import KiB
+
+UNIT = 4 * KiB
+
+
+def make_system(scheme):
+    return System(CSARConfig(scheme=scheme, num_servers=6, num_clients=1,
+                             stripe_unit=UNIT, content_mode=True))
+
+
+def populate(system, name="f"):
+    client = system.client()
+    span = system.layout.group_span
+
+    def work():
+        yield from client.create(name)
+        yield from client.write(name, 0, Payload.pattern(2 * span, seed=1))
+        yield from client.write(name, 2 * span + 17,
+                                Payload.pattern(500, seed=2))
+
+    system.run(work())
+
+
+def corrupt(blockfile, offset=0, n=4):
+    old = blockfile.read(offset, n)
+    flipped = Payload.from_bytes(bytes(b ^ 0xFF for b in old.to_bytes()))
+    blockfile.write(offset, flipped)
+
+
+class TestDetection:
+    def test_clean_state_passes(self):
+        for scheme in ("raid1", "raid5", "hybrid"):
+            system = make_system(scheme)
+            populate(system)
+            assert scrub.scrub(system, "f") == []
+
+    def test_raid1_detects_mirror_rot(self):
+        system = make_system("raid1")
+        populate(system)
+        corrupt(system.iods[1].fs.files[red_file("f")])
+        issues = scrub.scrub(system, "f")
+        assert issues
+        assert "mirror mismatch" in issues[0]
+
+    def test_raid1_detects_data_rot(self):
+        system = make_system("raid1")
+        populate(system)
+        corrupt(system.iods[0].fs.files[data_file("f")])
+        assert scrub.scrub(system, "f")
+
+    def test_raid5_detects_parity_rot(self):
+        system = make_system("raid5")
+        populate(system)
+        corrupt(system.iods[5].fs.files[red_file("f")])  # parity of group 0
+        issues = scrub.scrub(system, "f")
+        assert any("parity mismatch" in i and "group 0" in i
+                   for i in issues)
+
+    def test_raid5_detects_data_rot(self):
+        system = make_system("raid5")
+        populate(system)
+        corrupt(system.iods[2].fs.files[data_file("f")])
+        assert scrub.scrub(system, "f")
+
+    def test_hybrid_detects_overflow_rot(self):
+        system = make_system("hybrid")
+        populate(system)
+        # Corrupt the primary overflow copy of the small write — at the
+        # slot offset actually holding valid bytes (slots are padded).
+        span = system.layout.group_span
+        piece = system.layout.pieces(2 * span + 17, 1)[0]
+        iod = system.iods[piece.server]
+        table = iod.overflow["f"]
+        ext = next(iter(table.covered))
+        _gaps, reads = table.resolve(ext.start, ext.end)
+        corrupt(iod.fs.files[ovf_file("f")], offset=reads[0].ovf_offset)
+        issues = scrub.scrub(system, "f")
+        assert any("overflow mirror mismatch" in i for i in issues)
+
+    def test_hybrid_detects_inplace_rot(self):
+        system = make_system("hybrid")
+        populate(system)
+        corrupt(system.iods[0].fs.files[data_file("f")])
+        assert any("parity mismatch" in i
+                   for i in scrub.scrub(system, "f"))
+
+    def test_scrub_requires_content_mode(self):
+        system = System(CSARConfig(scheme="raid5", num_servers=6,
+                                   content_mode=False))
+        with pytest.raises(ConfigError):
+            scrub.scrub(system, "f")
+
+    def test_raid0_always_clean(self):
+        system = make_system("raid0")
+        populate(system)
+        corrupt(system.iods[0].fs.files[data_file("f")])
+        assert scrub.scrub(system, "f") == []  # nothing to cross-check
+
+    def test_scrub_then_rebuild_heals(self):
+        # Full repair story: detect rot, rebuild the rotten server from
+        # redundancy, verify clean.
+        from repro.redundancy.recovery import rebuild_server
+
+        system = make_system("raid5")
+        populate(system)
+        corrupt(system.iods[2].fs.files[data_file("f")])
+        assert scrub.scrub(system, "f")
+        system.fail_server(2)
+        system.run(rebuild_server(system, 2))
+        assert scrub.scrub(system, "f") == []
+
+
+class TestOnlineScrub:
+    def test_clean_pass_costs_time(self):
+        from repro.redundancy.scrub import online_scrub
+
+        system = make_system("raid5")
+        populate(system)
+        t0 = system.env.now
+        issues = system.run(online_scrub(system, "f"))
+        assert issues == []
+        assert system.env.now > t0
+        assert system.metrics.get("scrub.online_passes") == 1
+
+    def test_detects_parity_rot_online(self):
+        from repro.redundancy.scrub import online_scrub
+
+        system = make_system("raid5")
+        populate(system)
+        corrupt(system.iods[5].fs.files[red_file("f")])
+        issues = system.run(online_scrub(system, "f"))
+        assert any("group 0" in i for i in issues)
+
+    def test_raid1_online_scrub(self):
+        from repro.redundancy.scrub import online_scrub
+
+        system = make_system("raid1")
+        populate(system)
+        assert system.run(online_scrub(system, "f")) == []
+        corrupt(system.iods[1].fs.files[red_file("f")])
+        assert system.run(online_scrub(system, "f"))
+
+    def test_raid0_online_scrub_trivially_clean(self):
+        from repro.redundancy.scrub import online_scrub
+
+        system = make_system("raid0")
+        populate(system)
+        assert system.run(online_scrub(system, "f")) == []
+
+    def test_online_agrees_with_offline(self):
+        from repro.redundancy.scrub import online_scrub
+
+        system = make_system("hybrid")
+        populate(system)
+        corrupt(system.iods[0].fs.files[data_file("f")])
+        offline = scrub.scrub(system, "f")
+        online = system.run(online_scrub(system, "f"))
+        # Both find the same corrupted groups (message formats differ).
+        off_groups = {i.split("group ")[1].split(" ")[0]
+                      for i in offline if "parity" in i}
+        on_groups = {i.split("group ")[1].split(" ")[0]
+                     for i in online if "parity" in i}
+        assert off_groups == on_groups != set()

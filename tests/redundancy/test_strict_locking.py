@@ -1,0 +1,166 @@
+"""The Section 5.1 stronger-consistency extension: strict group locking.
+
+Plain CSAR (like PVFS) gives no guarantees for overlapping concurrent
+writes — the parity or mirror can go inconsistent.  With
+``strict_locking=True`` every write holds the locks of the parity groups
+it touches, serializing conflicting writers.
+"""
+
+import pytest
+
+from repro import CSARConfig, Payload, System
+from repro.redundancy import scrub
+from repro.units import KiB
+
+UNIT = 4 * KiB
+
+
+def make_system(scheme="raid5", strict=False, clients=2):
+    return System(CSARConfig(scheme=scheme, num_servers=6,
+                             num_clients=clients, stripe_unit=UNIT,
+                             content_mode=True, strict_locking=strict))
+
+
+def overlapping_writers(system, rounds=4):
+    """Two clients repeatedly rewrite the SAME partial-stripe range."""
+    span = system.layout.group_span
+
+    def creator():
+        yield from system.client(0).create("f")
+        yield from system.client(0).write("f", 0,
+                                          Payload.pattern(2 * span, seed=0))
+
+    system.run(creator())
+
+    def writer(k):
+        client = system.client(k)
+        yield from client.open("f")
+        for i in range(rounds):
+            yield from client.write("f", UNIT // 2,
+                                    Payload.pattern(UNIT, seed=10 * k + i))
+
+    system.run(*[writer(k) for k in range(2)])
+
+
+class TestStrictLocking:
+    def test_overlapping_writers_corrupt_parity_without_strict(self):
+        # Demonstrates the gap the paper acknowledges: concurrent
+        # overlapping writes leave RAID5 parity inconsistent.
+        system = make_system(strict=False)
+        overlapping_writers(system)
+        assert scrub.check_parity(system, "f") != []
+
+    def test_overlapping_writers_consistent_with_strict(self):
+        system = make_system(strict=True)
+        overlapping_writers(system)
+        assert scrub.check_parity(system, "f") == []
+
+    def test_strict_hybrid_overlapping_writers_consistent(self):
+        system = make_system(scheme="hybrid", strict=True)
+        overlapping_writers(system)
+        assert scrub.scrub(system, "f") == []
+
+    def test_final_content_is_one_writers_data(self):
+        # Serializability per group: the surviving bytes are exactly some
+        # writer's complete payload, never an interleaving.
+        system = make_system(strict=True)
+        overlapping_writers(system, rounds=3)
+        client = system.client(0)
+
+        def read():
+            out = yield from client.read("f", UNIT // 2, UNIT)
+            return out
+
+        out = system.run(read())
+        candidates = [Payload.pattern(UNIT, seed=10 * k + i)
+                      for k in range(2) for i in range(3)]
+        assert any(out == c for c in candidates)
+
+    def test_strict_mode_still_correct_for_disjoint_writers(self):
+        system = make_system(scheme="hybrid", strict=True, clients=4)
+        span = system.layout.group_span
+
+        def creator():
+            yield from system.client(0).create("f")
+
+        system.run(creator())
+        payloads = [Payload.pattern(span + 99, seed=k) for k in range(4)]
+
+        def writer(k):
+            client = system.client(k)
+            yield from client.open("f")
+            yield from client.write("f", k * (span + 99), payloads[k])
+
+        system.run(*[writer(k) for k in range(4)])
+        for k in range(4):
+            def read(k=k):
+                out = yield from system.client(0).read(
+                    "f", k * (span + 99), span + 99)
+                return out
+
+            assert system.run(read()) == payloads[k]
+        assert scrub.scrub(system, "f") == []
+
+    def test_strict_locking_costs_bandwidth(self):
+        # The extension is not free: extra round trips + serialization.
+        def bw(strict):
+            system = System(CSARConfig(scheme="raid5", num_servers=6,
+                                       num_clients=1, stripe_unit=UNIT,
+                                       content_mode=False,
+                                       strict_locking=strict))
+            client = system.client()
+            span = system.layout.group_span
+
+            def work():
+                yield from client.create("f")
+                for i in range(20):
+                    yield from client.write("f", i * span,
+                                            Payload.virtual(span))
+
+            elapsed, _ = system.timed(work())
+            return 20 * span / elapsed
+
+        assert bw(strict=True) < bw(strict=False)
+
+    def test_single_writer_unaffected_by_strictness_semantics(self):
+        for strict in (False, True):
+            system = make_system(strict=strict, clients=1)
+            span = system.layout.group_span
+            data = Payload.pattern(3 * span + 77, seed=42)
+
+            def work():
+                client = system.client(0)
+                yield from client.create("f")
+                yield from client.write("f", 13, data)
+                out = yield from client.read("f", 13, data.length)
+                return out
+
+            assert system.run(work()) == data
+            assert scrub.scrub(system, "f") == []
+
+
+class TestStrictLockingDuringFailure:
+    def test_strict_write_survives_data_server_failure(self):
+        # Strict locks live on parity servers; a failed *data* server
+        # degrades the write but the locks still cycle correctly.
+        system = make_system(strict=True, clients=1)
+        span = system.layout.group_span
+        client = system.client(0)
+
+        def setup():
+            yield from client.create("f")
+            yield from client.write("f", 0, Payload.pattern(2 * span, seed=1))
+
+        system.run(setup())
+        system.fail_server(0)
+        patch = Payload.pattern(span + 500, seed=2)
+
+        def degraded():
+            yield from client.write("f", UNIT, patch)
+            out = yield from client.read("f", UNIT, patch.length)
+            return out
+
+        assert system.run(degraded()) == patch
+        # No lock is left dangling on any surviving server.
+        for iod in system.iods:
+            assert not iod.locks._held

@@ -1,0 +1,194 @@
+"""Tests for Resource / FifoLock / Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, FifoLock, Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_enforced(self, env):
+        res = Resource(env, capacity=2)
+        spans = []
+
+        def worker(k):
+            with res.request() as req:
+                yield req
+                start = env.now
+                yield env.timeout(10)
+                spans.append((k, start, env.now))
+
+        for k in range(4):
+            env.process(worker(k))
+        env.run()
+        # Two run at a time: starts at 0,0,10,10.
+        starts = sorted(s for _k, s, _e in spans)
+        assert starts == [0, 0, 10, 10]
+
+    def test_fifo_granting(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(k):
+            with res.request() as req:
+                yield req
+                order.append(k)
+                yield env.timeout(1)
+
+        for k in range(5):
+            env.process(worker(k))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_release_on_exception(self, env):
+        res = Resource(env, capacity=1)
+        got = []
+
+        def crasher():
+            with res.request() as req:
+                yield req
+                yield env.timeout(1)
+                raise ValueError("die holding the resource")
+
+        def waiter():
+            with res.request() as req:
+                yield req
+                got.append(env.now)
+
+        def supervisor(target):
+            with pytest.raises(ValueError):
+                yield target
+
+        crash_proc = env.process(crasher())
+        env.process(supervisor(crash_proc))
+        env.process(waiter())
+        env.run()
+        assert got == [1]  # granted right after the crasher released
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+        holder_req = res.request()  # granted immediately
+        queued = res.request()
+        assert not queued.triggered
+        res.release(queued)  # cancellation
+        res.release(holder_req)
+        assert res.count == 0
+
+    def test_release_unknown_rejected(self, env):
+        res = Resource(env, capacity=1)
+        granted = res.request()
+        res.release(granted)
+        with pytest.raises(SimulationError):
+            res.release(granted)
+
+    def test_wait_time_statistics(self, env):
+        res = Resource(env, capacity=1)
+
+        def worker():
+            with res.request() as req:
+                yield req
+                yield env.timeout(4)
+
+        env.process(worker())
+        env.process(worker())
+        env.run()
+        assert res.total_waits == 1
+        assert res.total_wait_time == 4
+
+    def test_held_helper(self, env):
+        res = Resource(env, capacity=1)
+
+        def worker():
+            yield from res.held(3)
+            return env.now
+
+        env.process(worker())
+        p = env.process(worker())
+        assert env.run(until=p) == 6
+
+    def test_bad_capacity(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+
+class TestFifoLock:
+    def test_locked_flag(self, env):
+        lock = FifoLock(env)
+        assert not lock.locked
+        req = lock.request()
+        assert lock.locked
+        lock.release(req)
+        assert not lock.locked
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("a")
+
+        def consumer():
+            item = yield store.get()
+            return item
+
+        p = env.process(consumer())
+        assert env.run(until=p) == "a"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def consumer():
+            item = yield store.get()
+            return (env.now, item)
+
+        def producer():
+            yield env.timeout(5)
+            store.put("late")
+
+        p = env.process(consumer())
+        env.process(producer())
+        assert env.run(until=p) == (5, "late")
+
+    def test_fifo_order_of_items(self, env):
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        out = []
+
+        def consumer():
+            for _ in range(3):
+                out.append((yield store.get()))
+
+        env.process(consumer())
+        env.run()
+        assert out == [0, 1, 2]
+
+    def test_fifo_order_of_getters(self, env):
+        store = Store(env)
+        out = []
+
+        def consumer(k):
+            item = yield store.get()
+            out.append((k, item))
+
+        env.process(consumer(0))
+        env.process(consumer(1))
+
+        def producer():
+            yield env.timeout(1)
+            store.put("x")
+            store.put("y")
+
+        env.process(producer())
+        env.run()
+        assert out == [(0, "x"), (1, "y")]
+
+    def test_len(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2

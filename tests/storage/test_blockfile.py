@@ -1,0 +1,113 @@
+"""Tests for sparse block files."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.blockfile import BlockFile
+from repro.storage.payload import Payload
+
+
+class TestContentMode:
+    def test_write_read_roundtrip(self):
+        f = BlockFile("d")
+        f.write(100, Payload.from_bytes(b"hello"))
+        assert f.read(100, 5).to_bytes() == b"hello"
+
+    def test_holes_read_zero(self):
+        f = BlockFile("d")
+        f.write(10, Payload.from_bytes(b"xy"))
+        assert f.read(0, 14).to_bytes() == b"\x00" * 10 + b"xy\x00\x00"
+
+    def test_read_past_eof_zero(self):
+        f = BlockFile("d")
+        f.write(0, Payload.from_bytes(b"ab"))
+        assert f.read(0, 6).to_bytes() == b"ab" + b"\x00" * 4
+
+    def test_overwrite(self):
+        f = BlockFile("d")
+        f.write(0, Payload.from_bytes(b"aaaa"))
+        f.write(1, Payload.from_bytes(b"BB"))
+        assert f.read(0, 4).to_bytes() == b"aBBa"
+
+    def test_size_is_max_end(self):
+        f = BlockFile("d")
+        f.write(1000, Payload.from_bytes(b"x"))
+        assert f.size == 1001
+        assert f.allocated_bytes == 1
+
+    def test_zero_length_write_noop(self):
+        f = BlockFile("d")
+        f.write(50, Payload.from_bytes(b""))
+        assert f.size == 0
+
+    def test_negative_offset_rejected(self):
+        f = BlockFile("d")
+        with pytest.raises(ValueError):
+            f.write(-1, Payload.from_bytes(b"x"))
+        with pytest.raises(ValueError):
+            f.read(-1, 2)
+
+    def test_virtual_payload_rejected_in_content_mode(self):
+        f = BlockFile("d")
+        with pytest.raises(ValueError):
+            f.write(0, Payload.virtual(4))
+
+    def test_punch_hole(self):
+        f = BlockFile("d")
+        f.write(0, Payload.from_bytes(b"abcdef"))
+        f.punch_hole(2, 2)
+        assert f.read(0, 6).to_bytes() == b"ab\x00\x00ef"
+        assert f.allocated_bytes == 4
+        assert f.size == 6
+
+    def test_truncate(self):
+        f = BlockFile("d")
+        f.write(0, Payload.from_bytes(b"abc"))
+        f.truncate()
+        assert f.size == 0
+        assert f.read(0, 3).to_bytes() == b"\x00\x00\x00"
+
+    def test_grow_across_chunk_boundary(self):
+        f = BlockFile("d")
+        big = Payload.pattern(3 << 20, seed=1)  # > _GROW
+        f.write(0, big)
+        assert f.read(0, big.length) == big
+
+
+class TestExtentMode:
+    def test_reads_are_virtual(self):
+        f = BlockFile("d", content_mode=False)
+        f.write(0, Payload.virtual(100))
+        out = f.read(0, 50)
+        assert out.is_virtual and len(out) == 50
+
+    def test_accepts_real_payload_but_keeps_extents_only(self):
+        f = BlockFile("d", content_mode=False)
+        f.write(0, Payload.from_bytes(b"abcd"))
+        assert f.size == 4
+        assert f.read(0, 4).is_virtual
+
+    def test_accounting_matches_content_mode(self):
+        fc = BlockFile("c", content_mode=True)
+        fe = BlockFile("e", content_mode=False)
+        for off, n in [(0, 10), (100, 20), (5, 10)]:
+            fc.write(off, Payload.zeros(n))
+            fe.write(off, Payload.virtual(n))
+        assert fc.size == fe.size
+        assert fc.allocated_bytes == fe.allocated_bytes
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 200), st.binary(min_size=1, max_size=50)),
+                max_size=12))
+def test_blockfile_matches_reference_bytearray(writes):
+    f = BlockFile("d")
+    ref = bytearray(300)
+    hi = 0
+    for off, data in writes:
+        f.write(off, Payload.from_bytes(data))
+        ref[off: off + len(data)] = data
+        hi = max(hi, off + len(data))
+    assert f.size == hi
+    assert f.read(0, 300).to_bytes() == bytes(ref[:300])

@@ -1,0 +1,109 @@
+"""Tests for real/virtual payloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.payload import Payload
+
+
+class TestConstruction:
+    def test_from_bytes_roundtrip(self):
+        p = Payload.from_bytes(b"hello")
+        assert len(p) == 5
+        assert p.to_bytes() == b"hello"
+        assert not p.is_virtual
+
+    def test_zeros(self):
+        assert Payload.zeros(4).to_bytes() == b"\x00" * 4
+
+    def test_virtual(self):
+        v = Payload.virtual(10)
+        assert v.is_virtual
+        assert len(v) == 10
+        with pytest.raises(ValueError):
+            v.to_bytes()
+
+    def test_pattern_deterministic(self):
+        assert Payload.pattern(64, 3) == Payload.pattern(64, 3)
+        assert Payload.pattern(64, 3) != Payload.pattern(64, 4)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Payload.virtual(-1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Payload(3, np.zeros(4, dtype=np.uint8))
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            Payload(4, np.zeros(4, dtype=np.int32))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Payload.zeros(1))
+
+
+class TestOperations:
+    def test_slice(self):
+        p = Payload.from_bytes(b"abcdef")
+        assert p.slice(1, 4).to_bytes() == b"bcd"
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Payload.zeros(4).slice(2, 6)
+
+    def test_slice_is_a_copy(self):
+        p = Payload.from_bytes(b"abc")
+        s = p.slice(0, 2)
+        s.data[0] = 0
+        assert p.to_bytes() == b"abc"
+
+    def test_virtual_slice(self):
+        assert Payload.virtual(10).slice(2, 7).is_virtual
+
+    def test_concat(self):
+        p = Payload.from_bytes(b"ab").concat(Payload.from_bytes(b"cd"))
+        assert p.to_bytes() == b"abcd"
+
+    def test_concat_virtual_poisons(self):
+        p = Payload.from_bytes(b"ab").concat(Payload.virtual(2))
+        assert p.is_virtual and len(p) == 4
+
+    def test_xor_real(self):
+        a = Payload.from_bytes(b"\xff\x00")
+        b = Payload.from_bytes(b"\x0f\x0f")
+        assert Payload.xor([a, b], 2).to_bytes() == b"\xf0\x0f"
+
+    def test_xor_pads_to_length(self):
+        a = Payload.from_bytes(b"\xff")
+        assert Payload.xor([a], 3).to_bytes() == b"\xff\x00\x00"
+
+    def test_xor_virtual_poisons(self):
+        out = Payload.xor([Payload.zeros(2), Payload.virtual(2)], 2)
+        assert out.is_virtual
+
+    def test_overlay(self):
+        base = Payload.from_bytes(b"aaaa")
+        out = base.overlay(1, Payload.from_bytes(b"BB"))
+        assert out.to_bytes() == b"aBBa"
+
+    def test_overlay_grows(self):
+        out = Payload.from_bytes(b"ab").overlay(3, Payload.from_bytes(b"c"))
+        assert out.to_bytes() == b"ab\x00c"
+
+    def test_equality_virtual_vs_real(self):
+        assert Payload.virtual(2) != Payload.zeros(2)
+        assert Payload.virtual(2) == Payload.virtual(2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=100), st.binary(max_size=100))
+def test_xor_is_self_inverse(a, b):
+    length = max(len(a), len(b))
+    pa, pb = Payload.from_bytes(a), Payload.from_bytes(b)
+    parity = Payload.xor([pa, pb], length)
+    back = Payload.xor([parity, pb], length)
+    assert back.to_bytes()[: len(a)] == a

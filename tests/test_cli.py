@@ -1,0 +1,65 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4a" in out
+        assert "table2" in out
+
+
+class TestRun:
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "fill_minutes" in out
+
+    def test_run_with_scale(self, capsys):
+        assert main(["run", "fig3", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "RAID5" in out
+        assert "scale 0.1" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "fig1", "ablation-parity"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "ablation-parity" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCsvExport:
+    def test_csv_dir_writes_files(self, tmp_path, capsys):
+        assert main(["run", "fig1", "--csv-dir", str(tmp_path)]) == 0
+        csv = (tmp_path / "fig1.csv").read_text()
+        assert csv.splitlines()[0].startswith("year,drive,")
+        assert "Seagate ST-412" in csv
+
+    def test_table_to_csv_quotes_commas(self):
+        from repro.experiments.base import ExpTable
+
+        t = ExpTable("x", "t", ["a", "b"])
+        t.add_row('has,comma', 'has"quote')
+        csv = t.to_csv()
+        assert '"has,comma"' in csv
+        assert '"has""quote"' in csv
+
+    def test_fig2_layout_matches_paper(self):
+        from repro.experiments import get_experiment
+
+        table = get_experiment("fig2").run()
+        assert table.cell(0, "iod2.red") == "P[0-1]"
+        assert table.cell(0, "iod0.data") == "D0"
+        assert table.cell(0, "iod1.red") == "P[2-3]"

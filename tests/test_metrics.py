@@ -1,0 +1,53 @@
+"""Tests for the metrics collector."""
+
+from repro.metrics import Metrics
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        m = Metrics()
+        m.add("x")
+        m.add("x", 2.5)
+        assert m.get("x") == 3.5
+
+    def test_missing_key_is_zero(self):
+        assert Metrics().get("nope") == 0.0
+
+    def test_tx_rx_tracking(self):
+        m = Metrics()
+        m.record_tx("a", 100)
+        m.record_tx("a", 50)
+        m.record_rx("b", 150)
+        assert m.node_tx_bytes["a"] == 150
+        assert m.node_rx_bytes["b"] == 150
+        assert m.get("net.bytes") == 150
+
+    def test_bandwidth(self):
+        m = Metrics()
+        m.add("bytes", 10_000_000)
+        assert m.bandwidth("bytes", 2.0) == 5.0
+
+
+class TestSnapshots:
+    def test_snapshot_includes_node_bytes(self):
+        m = Metrics()
+        m.add("k", 1)
+        m.record_tx("n", 10)
+        snap = m.snapshot()
+        assert snap["k"] == 1
+        assert snap["tx.n"] == 10
+
+    def test_diff(self):
+        m = Metrics()
+        m.add("k", 5)
+        before = m.snapshot()
+        m.add("k", 3)
+        m.add("new", 1)
+        diff = m.diff(before)
+        assert diff == {"k": 3, "new": 1}
+
+    def test_diff_skips_unchanged(self):
+        m = Metrics()
+        m.add("same", 2)
+        before = m.snapshot()
+        assert m.diff(before) == {}

@@ -1,0 +1,43 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.units import GiB, KiB, MB, MiB, fmt_bytes, mbps
+
+
+class TestConstants:
+    def test_binary_units(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_decimal_mb(self):
+        assert MB == 1_000_000
+
+
+class TestMbps:
+    def test_basic(self):
+        assert mbps(10_000_000, 2.0) == pytest.approx(5.0)
+
+    def test_zero_duration(self):
+        assert mbps(100, 0.0) == 0.0
+
+    def test_negative_duration(self):
+        assert mbps(100, -1.0) == 0.0
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert fmt_bytes(1536) == "1.5 KiB"
+
+    def test_mib(self):
+        assert fmt_bytes(4 * MiB) == "4.0 MiB"
+
+    def test_gib(self):
+        assert fmt_bytes(3 * GiB) == "3.0 GiB"
+
+    def test_zero(self):
+        assert fmt_bytes(0) == "0 B"

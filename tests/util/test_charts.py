@@ -1,0 +1,98 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.experiments.base import ExpTable
+from repro.util.charts import (
+    bar_chart,
+    chart_table,
+    grouped_bar_chart,
+    line_chart,
+)
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        out = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        out = bar_chart(["long-label", "x"], [1.0, 2.0])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_values_printed(self):
+        assert "12.3" in bar_chart(["a"], [12.3])
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+
+class TestGroupedBarChart:
+    def test_groups_per_row(self):
+        out = grouped_bar_chart(["app1", "app2"],
+                                {"raid1": [1.0, 2.0], "raid5": [2.0, 1.0]})
+        assert "app1:" in out and "app2:" in out
+        assert out.count("raid1") == 2
+
+
+class TestLineChart:
+    def test_extremes_on_grid(self):
+        out = line_chart([1, 2, 3], {"s": [0.0, 5.0, 10.0]}, height=8,
+                         width=20)
+        lines = out.splitlines()
+        assert "o" in lines[0]          # max lands on the top row
+        assert "10.0" in lines[0]
+        assert "s" in lines[-1]         # legend
+
+    def test_none_values_skipped(self):
+        out = line_chart([1, 2, 3], {"s": [None, 1.0, 2.0]})
+        assert "o" in out
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = line_chart([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "o=a" in out and "x=b" in out
+
+    def test_all_none(self):
+        assert line_chart([1], {"s": [None]}, title="t") == "t"
+
+
+class TestChartTable:
+    def test_numeric_first_column_becomes_line_chart(self):
+        t = ExpTable("x", "bw", ["iods", "raid0"])
+        t.add_row(1, 10.0)
+        t.add_row(2, 20.0)
+        out = chart_table(t)
+        assert "o=raid0" in out
+
+    def test_categorical_single_column_becomes_bars(self):
+        t = ExpTable("x", "bw", ["config", "mbps"])
+        t.add_row("RAID0", 50.0)
+        t.add_row("RAID5", 25.0)
+        out = chart_table(t)
+        assert "RAID0" in out and "█" in out
+
+    def test_categorical_multi_column_becomes_grouped(self):
+        t = ExpTable("x", "t", ["app", "raid1", "raid5"])
+        t.add_row("FLASH", 1.5, 1.6)
+        out = chart_table(t)
+        assert "FLASH:" in out
+
+    def test_non_numeric_falls_back_to_table(self):
+        t = ExpTable("x", "t", ["a", "b"])
+        t.add_row("k", "v")
+        assert "==" in chart_table(t)
+
+    def test_every_registered_experiment_chartable(self):
+        # Smoke: chart_table must not crash on any experiment's shape.
+        from repro.experiments import get_experiment
+
+        for exp_id in ("fig1", "fig2", "fig3"):
+            table = get_experiment(exp_id).run(scale=0.1)
+            assert chart_table(table)

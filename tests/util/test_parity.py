@@ -1,0 +1,117 @@
+"""Tests for the XOR parity kernels (word-wise and byte-wise)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.parity import (
+    parity_of_stripe,
+    xor_bytes,
+    xor_bytes_bytewise,
+    xor_into,
+)
+
+
+class TestXorBytes:
+    def test_empty(self):
+        assert xor_bytes([]) == b""
+
+    def test_empty_with_length(self):
+        assert xor_bytes([], length=4) == b"\x00" * 4
+
+    def test_single_block_identity(self):
+        assert xor_bytes([b"\x01\x02\x03"]) == b"\x01\x02\x03"
+
+    def test_pair(self):
+        assert xor_bytes([b"\xff\x0f", b"\x0f\xff"]) == b"\xf0\xf0"
+
+    def test_self_inverse(self):
+        a, b = b"hello world", b"parity data"
+        p = xor_bytes([a, b])
+        assert xor_bytes([p, b]) == a
+
+    def test_unequal_lengths_zero_padded(self):
+        assert xor_bytes([b"\xaa\xbb\xcc", b"\xaa"]) == b"\x00\xbb\xcc"
+
+    def test_explicit_length_truncates(self):
+        assert xor_bytes([b"\x01\x02\x03"], length=2) == b"\x01\x02"
+
+    def test_accepts_ndarray(self):
+        arr = np.frombuffer(b"\x01\x02", dtype=np.uint8)
+        assert xor_bytes([arr, b"\x01\x02"]) == b"\x00\x00"
+
+    def test_rejects_non_uint8_ndarray(self):
+        with pytest.raises(TypeError):
+            xor_bytes([np.zeros(4, dtype=np.float64)])
+
+
+class TestXorInto:
+    def test_in_place(self):
+        acc = np.frombuffer(bytearray(b"\x0f\x0f\x0f"), dtype=np.uint8).copy()
+        xor_into(acc, b"\xf0\xf0")
+        assert acc.tobytes() == b"\xff\xff\x0f"
+
+    def test_operand_too_long(self):
+        acc = np.zeros(2, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            xor_into(acc, b"\x01\x02\x03")
+
+
+class TestBytewiseKernel:
+    def test_matches_wordwise_on_examples(self):
+        blocks = [b"abcdef", b"012345", b"\x00\xff" * 3]
+        assert xor_bytes_bytewise(blocks) == xor_bytes(blocks)
+
+    def test_unequal_lengths(self):
+        blocks = [b"\xaa\xbb\xcc", b"\xaa"]
+        assert xor_bytes_bytewise(blocks) == xor_bytes(blocks)
+
+
+class TestParityOfStripe:
+    def test_full_stripe(self):
+        unit = 8
+        d0, d1 = b"\x01" * 8, b"\x02" * 8
+        assert parity_of_stripe([d0, d1], unit) == b"\x03" * 8
+
+    def test_short_tail_block_padded(self):
+        unit = 8
+        p = parity_of_stripe([b"\xff" * 8, b"\xff" * 3], unit)
+        assert p == b"\x00" * 3 + b"\xff" * 5
+        assert len(p) == unit
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ValueError):
+            parity_of_stripe([b"\x00" * 9], 8)
+
+    def test_reconstruction_identity(self):
+        # Fundamental RAID5 property: any lost block equals the XOR of the
+        # surviving blocks and the parity.
+        unit = 16
+        rng = np.random.default_rng(7)
+        blocks = [rng.integers(0, 256, unit, dtype=np.uint8).tobytes()
+                  for _ in range(4)]
+        parity = parity_of_stripe(blocks, unit)
+        for lost in range(4):
+            survivors = [b for i, b in enumerate(blocks) if i != lost]
+            rebuilt = xor_bytes(survivors + [parity], length=unit)
+            assert rebuilt == blocks[lost]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.binary(max_size=64), max_size=6))
+def test_kernels_agree(blocks):
+    assert xor_bytes(blocks) == xor_bytes_bytewise(blocks)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=5),
+       st.data())
+def test_any_lost_block_recoverable(blocks, data):
+    length = max(len(b) for b in blocks)
+    parity = xor_bytes(blocks, length=length)
+    lost = data.draw(st.integers(0, len(blocks) - 1))
+    survivors = [b for i, b in enumerate(blocks) if i != lost]
+    rebuilt = xor_bytes(survivors + [parity], length=length)
+    # Recovered block equals original zero-padded to stripe length.
+    assert rebuilt == blocks[lost] + b"\x00" * (length - len(blocks[lost]))

@@ -1,0 +1,139 @@
+"""Tests for I/O trace capture and replay."""
+
+import io
+
+import pytest
+
+from repro import CSARConfig, Payload, System
+from repro.errors import ConfigError
+from repro.units import KiB
+from repro.util.trace import Trace, TraceRecord, TraceRecorder
+
+
+def make_system(clients=2, scheme="hybrid", **kw):
+    kw.setdefault("stripe_unit", 16 * KiB)
+    kw.setdefault("content_mode", False)
+    return System(CSARConfig(scheme=scheme, num_servers=6,
+                             num_clients=clients, **kw))
+
+
+def capture_workload(system):
+    recorder = TraceRecorder(system)
+
+    def rank_proc(rank):
+        client = system.client(rank)
+        if rank == 0:
+            yield from client.create("app.dat")
+        else:
+            yield system.env.timeout(0.001)
+            yield from client.open("app.dat")
+        for i in range(4):
+            yield from client.write("app.dat", (rank * 4 + i) * 32 * KiB,
+                                    Payload.virtual(32 * KiB))
+        yield from client.read("app.dat", rank * 128 * KiB, 1 * KiB)
+
+    system.run(*[rank_proc(r) for r in range(len(system.clients))])
+    return recorder.detach()
+
+
+class TestCapture:
+    def test_records_everything(self):
+        system = make_system()
+        trace = capture_workload(system)
+        assert len(trace) == 2 * 5  # 4 writes + 1 read per client
+        assert {r.client for r in trace} == {0, 1}
+        assert trace.files() == ["app.dat"]
+
+    def test_timestamps_monotone_per_client(self):
+        system = make_system()
+        trace = capture_workload(system)
+        for client in (0, 1):
+            times = [r.time for r in trace if r.client == client]
+            assert times == sorted(times)
+
+    def test_detach_stops_recording(self):
+        system = make_system()
+        capture_workload(system)
+
+        def extra():
+            yield from system.client(0).write("app.dat", 0,
+                                              Payload.virtual(100))
+
+        before = len(capture_workload.__defaults__ or ())
+        del before
+        system.run(extra())  # tracer detached: no error, no new records
+
+    def test_stats(self):
+        trace = Trace([
+            TraceRecord(0.0, 0, "write", "f", 0, 1000),
+            TraceRecord(0.1, 0, "write", "f", 1000, 3000),
+            TraceRecord(0.2, 0, "read", "f", 0, 500),
+        ])
+        stats = trace.stats("write")
+        assert stats["count"] == 2
+        assert stats["bytes"] == 4000
+        assert stats["small_fraction_2k"] == 0.5
+        assert trace.stats("read")["count"] == 1
+        assert trace.stats("fsync") == {"count": 0, "bytes": 0}
+
+
+class TestPersistence:
+    def test_dump_load_roundtrip(self):
+        system = make_system()
+        trace = capture_workload(system)
+        buf = io.StringIO()
+        trace.dump(buf)
+        buf.seek(0)
+        loaded = Trace.load(buf)
+        assert loaded.records == trace.records
+
+    def test_load_skips_blank_lines(self):
+        buf = io.StringIO(
+            '{"time": 0.0, "client": 0, "op": "write", "file": "f", '
+            '"offset": 0, "length": 10}\n\n')
+        assert len(Trace.load(buf)) == 1
+
+
+class TestReplay:
+    def test_replay_reissues_same_io(self):
+        system = make_system()
+        trace = capture_workload(system)
+        target = make_system(scheme="raid5")
+        target.run(trace.replay(target))
+        written = sum(r.length for r in trace if r.op == "write")
+        read = sum(r.length for r in trace if r.op == "read")
+        assert target.metrics.get("client.bytes_written") == written
+        assert target.metrics.get("client.bytes_read") == read
+
+    def test_replay_across_schemes_changes_timing(self):
+        system = make_system(scheme="raid0")
+        trace = capture_workload(system)
+        times = {}
+        for scheme in ("raid0", "raid1"):
+            target = make_system(scheme=scheme)
+            times[scheme], _ = target.timed(trace.replay(target))
+        assert times["raid1"] > times["raid0"]
+
+    def test_preserve_timing_stretches_replay(self):
+        trace = Trace([
+            TraceRecord(0.0, 0, "write", "f", 0, 1024),
+            TraceRecord(5.0, 0, "write", "f", 1024, 1024),
+        ])
+        target = make_system(clients=1)
+        closed, _ = target.timed(trace.replay(target))
+        target2 = make_system(clients=1)
+        timed, _ = target2.timed(trace.replay(target2,
+                                              preserve_timing=True))
+        assert timed >= 5.0 > closed
+
+    def test_replay_needs_enough_clients(self):
+        trace = Trace([TraceRecord(0.0, 7, "write", "f", 0, 10)])
+        target = make_system(clients=1)
+        with pytest.raises(ConfigError):
+            target.run(trace.replay(target))
+
+    def test_replay_rejects_unknown_op(self):
+        trace = Trace([TraceRecord(0.0, 0, "chmod", "f", 0, 10)])
+        target = make_system(clients=1)
+        with pytest.raises(ConfigError):
+            target.run(trace.replay(target))

@@ -1,0 +1,105 @@
+"""BTIO through the MPI-IO layer, validating the direct model's premise."""
+
+import pytest
+
+from repro import CSARConfig, System
+from repro.errors import ConfigError
+from repro.units import KiB, MiB
+from repro.util.trace import TraceRecorder
+from repro.workloads.btio_mpiio import (
+    CELL,
+    btio_collective_benchmark,
+    rank_pattern,
+)
+
+
+def make_system(clients=4, scheme="hybrid"):
+    return System(CSARConfig(scheme=scheme, num_servers=6,
+                             num_clients=clients, stripe_unit=64 * KiB,
+                             content_mode=False))
+
+
+class TestRankPattern:
+    def test_patterns_partition_the_grid(self):
+        grid, nprocs = 16, 4
+        total = sum(rank_pattern(r, nprocs, grid).total_bytes
+                    for r in range(nprocs))
+        assert total == grid ** 3 * CELL
+
+    def test_patterns_are_disjoint(self):
+        from repro.mpiio.datatypes import merge
+
+        grid, nprocs = 12, 4
+        region = merge(rank_pattern(r, nprocs, grid) for r in range(nprocs))
+        assert region.total() == grid ** 3 * CELL  # no double coverage
+
+    def test_pieces_are_small_and_many(self):
+        # The raw BT pattern the paper says ROMIO must merge: each piece
+        # is one x-run of cells (~KB), thousands per rank.
+        pattern = rank_pattern(0, 4, 64)
+        assert len(pattern.pieces) == 64 * 32
+        assert all(length == 32 * CELL for _off, length in pattern.pieces)
+
+    def test_non_square_process_count_rejected(self):
+        with pytest.raises(ConfigError):
+            rank_pattern(0, 3, 16)
+
+
+class TestCollectiveBenchmark:
+    def test_premise_pvfs_sees_large_unaligned_writes(self):
+        # THE validation: after two-phase merging, the PVFS layer sees
+        # ~4 MB writes with unaligned offsets — exactly what Section 6.5
+        # describes and what workloads/btio.py models.  Class B geometry
+        # (102³ cells over 9 ranks) is the paper's "about 4 MB" case.
+        system = make_system(clients=9)
+        recorder = TraceRecorder(system)
+        btio_collective_benchmark(system, "B", steps=1,
+                                  cb_buffer_size=4 * MiB)
+        trace = recorder.detach()
+        writes = [r for r in trace if r.op == "write"]
+        assert writes, "no PVFS-level writes recorded"
+        sizes = sorted(r.length for r in writes)
+        # Merged into MB-scale requests, bounded by the collective
+        # buffer, never tiny — versus the raw pattern's ~450 B pieces.
+        assert sizes[len(sizes) // 2] > 2 * MiB
+        assert max(sizes) <= 4 * MiB
+        assert min(sizes) > 256 * KiB
+        # Starting offsets are not stripe-aligned (64 KiB x 5 span).
+        span = 5 * 64 * KiB
+        unaligned = sum(1 for r in writes if r.offset % span != 0)
+        assert unaligned >= len(writes) // 2
+
+    def test_class_a_at_four_ranks_is_stripe_aligned(self):
+        # The Table 2 curiosity this layer explains: Class A's per-rank
+        # share at 4 processes is exactly 8 stripe spans (2,621,440 B =
+        # 8 x 5 x 64 KiB), so every merged write is stripe-aligned and
+        # Hybrid stores exactly what RAID5 does (paper: 503 = 503 MB).
+        system = make_system(clients=4)
+        recorder = TraceRecorder(system)
+        btio_collective_benchmark(system, "A", steps=1)
+        writes = [r for r in recorder.detach() if r.op == "write"]
+        span = 5 * 64 * KiB
+        assert all(r.offset % span == 0 for r in writes)
+        assert all(r.length % span == 0 for r in writes)
+        # Under Hybrid nothing went to overflow.
+        assert system.overflow_stats("btio_mpiio")["allocated"] == 0
+
+    def test_total_bytes_match_grid(self):
+        system = make_system(clients=4)
+        result = btio_collective_benchmark(system, "A", steps=1)
+        assert result.bytes_written == 64 ** 3 * CELL
+        assert result.write_bandwidth > 0
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigError):
+            btio_collective_benchmark(make_system(clients=4), "Z")
+
+    def test_collective_agrees_with_direct_model_on_scheme_ordering(self):
+        # The direct btio model and the true MPI-IO path must agree on
+        # the paper's qualitative result: hybrid >= raid1 for BTIO.
+        times = {}
+        for scheme in ("raid1", "hybrid"):
+            system = make_system(clients=4, scheme=scheme)
+            times[scheme] = btio_collective_benchmark(
+                system, "A", steps=1).elapsed
+        assert times["hybrid"] < times["raid1"]

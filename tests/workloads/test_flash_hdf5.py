@@ -1,0 +1,72 @@
+"""FLASH through HDF5-lite: the paper's pattern from first principles."""
+
+import pytest
+
+from repro import CSARConfig, System
+from repro.units import KiB
+from repro.util.trace import TraceRecorder
+from repro.workloads.flash_hdf5 import (
+    CELLS_PER_BLOCK,
+    N_PLOTVARS,
+    N_UNKNOWNS,
+    flash_hdf5_storage,
+    flash_io_hdf5_benchmark,
+)
+
+
+def make_system(scheme="hybrid", clients=4, unit=64 * KiB):
+    return System(CSARConfig(scheme=scheme, num_servers=6,
+                             num_clients=clients, stripe_unit=unit,
+                             content_mode=False))
+
+
+class TestFlashHdf5:
+    def test_total_bytes(self):
+        system = make_system()
+        result = flash_io_hdf5_benchmark(system, blocks_per_rank=10)
+        blocks = 4 * 10
+        expected = blocks * CELLS_PER_BLOCK * (N_UNKNOWNS * 8
+                                               + 2 * N_PLOTVARS * 4)
+        assert result.bytes_written == expected
+        assert result.write_bandwidth > 0
+
+    def test_emergent_request_mix_matches_paper(self):
+        # Section 6.6: "mostly small and medium size write requests
+        # ranging from a few kilobytes to a few hundred kilobytes";
+        # Section 6.7: 37-46% of requests under 2 KB.
+        system = make_system()
+        recorder = TraceRecorder(system)
+        flash_io_hdf5_benchmark(system, blocks_per_rank=20)
+        stats = recorder.detach().stats("write")
+        assert 0.3 < stats["small_fraction_2k"] < 0.8
+        assert stats["max"] <= 300 * KiB  # medium data chunks
+        assert stats["max"] >= 20 * KiB
+
+    def test_hybrid_storage_exceeds_raid1_at_64k_unit(self):
+        # The Table 2 FLASH-at-64K result, emerging from the real
+        # metadata path rather than a scripted mix.
+        totals = {}
+        for scheme in ("raid1", "hybrid"):
+            system = make_system(scheme=scheme)
+            flash_io_hdf5_benchmark(system, blocks_per_rank=12)
+            totals[scheme] = flash_hdf5_storage(system)
+        assert totals["hybrid"] > totals["raid1"]
+
+    def test_hybrid_storage_shrinks_with_small_stripe_unit(self):
+        def total(unit):
+            system = make_system(unit=unit)
+            flash_io_hdf5_benchmark(system, blocks_per_rank=12)
+            return flash_hdf5_storage(system)
+
+        assert total(8 * KiB) < total(64 * KiB)
+
+    def test_scheme_ordering_matches_fig8(self):
+        times = {}
+        for scheme in ("raid0", "raid1", "raid5", "hybrid"):
+            system = make_system(scheme=scheme)
+            times[scheme] = flash_io_hdf5_benchmark(
+                system, blocks_per_rank=12).elapsed
+        assert times["raid0"] == min(times.values())
+        # Hybrid within striking distance of the best redundant scheme.
+        best_redundant = min(times["raid1"], times["raid5"])
+        assert times["hybrid"] <= 1.25 * best_redundant

@@ -1,0 +1,86 @@
+"""Tests for the IOR-like synthetic benchmark."""
+
+import pytest
+
+from repro import CSARConfig, System
+from repro.errors import ConfigError
+from repro.units import KiB, MiB
+from repro.workloads.synthetic import SyntheticSpec, synthetic_benchmark
+
+
+def make_system(scheme="hybrid", clients=4):
+    return System(CSARConfig(scheme=scheme, num_servers=6,
+                             num_clients=clients, stripe_unit=64 * KiB,
+                             content_mode=False))
+
+
+class TestSpecValidation:
+    def test_transfer_must_divide_block(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpec(block_size=1 * MiB, transfer_size=300 * KiB)
+
+    def test_unknown_layout(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpec(layout="zigzag")
+
+    def test_zero_segments(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpec(segments=0)
+
+
+class TestRuns:
+    def test_total_bytes(self):
+        system = make_system()
+        spec = SyntheticSpec(block_size=1 * MiB, transfer_size=256 * KiB,
+                             segments=2)
+        result = synthetic_benchmark(system, spec)
+        assert result.bytes_written == 4 * 2 * MiB
+        assert result.write_bandwidth > 0
+
+    def test_read_back(self):
+        system = make_system()
+        spec = SyntheticSpec(block_size=512 * KiB, transfer_size=128 * KiB,
+                             segments=1, read_back=True)
+        result = synthetic_benchmark(system, spec)
+        assert result.extra["read_bandwidth"] > 0
+
+    def test_aligned_segmented_large_is_raid5_friendly(self):
+        # Figure 4(a) territory: stripe-aligned large transfers.
+        spec = SyntheticSpec(block_size=1280 * KiB, transfer_size=320 * KiB,
+                             segments=2)  # 320 KiB = exactly one span
+        system = make_system()
+        synthetic_benchmark(system, spec)
+        assert system.metrics.get("hybrid.partial_stripe_bytes") == 0
+
+    def test_tiny_strided_is_raid1_territory(self):
+        # Figure 4(b) territory: sub-stripe transfers.
+        spec = SyntheticSpec(block_size=256 * KiB, transfer_size=64 * KiB,
+                             segments=1, layout="strided")
+        system = make_system()
+        synthetic_benchmark(system, spec)
+        assert system.metrics.get("hybrid.full_stripe_bytes") == 0
+
+    def test_alignment_shift_creates_partials(self):
+        spec = SyntheticSpec(block_size=1280 * KiB, transfer_size=320 * KiB,
+                             segments=1, alignment_shift=100)
+        system = make_system()
+        synthetic_benchmark(system, spec)
+        assert system.metrics.get("hybrid.partial_stripe_bytes") > 0
+
+    def test_scheme_crossover_by_transfer_size(self):
+        # The paper's headline, reproduced with the community's tool:
+        # small transfers favour RAID1, large favour RAID5, Hybrid never
+        # loses by much.
+        def bandwidth(scheme, transfer):
+            system = make_system(scheme=scheme, clients=2)
+            spec = SyntheticSpec(block_size=max(transfer * 4, 1280 * KiB),
+                                 transfer_size=transfer, segments=1)
+            return synthetic_benchmark(system, spec).write_bandwidth
+
+        small, large = 64 * KiB, 1280 * KiB
+        assert bandwidth("raid1", small) > bandwidth("raid5", small)
+        assert bandwidth("raid5", large) > bandwidth("raid1", large)
+        for transfer in (small, large):
+            best = max(bandwidth("raid1", transfer),
+                       bandwidth("raid5", transfer))
+            assert bandwidth("hybrid", transfer) >= 0.9 * best
