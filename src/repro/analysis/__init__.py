@@ -1,0 +1,34 @@
+"""Correctness tooling for the CSAR reproduction.
+
+Two cooperating layers guard the Section 5.1 parity-lock protocol and
+the generator-process style it is written in:
+
+* :mod:`repro.analysis.lint` — ``csar-lint``, an AST-based static
+  checker with CSAR-specific rules (``csar-repro lint src``);
+* :mod:`repro.analysis.locksan` — LockSan, an opt-in runtime sanitizer
+  that tracks held-lock sets and a wait-for graph while a simulation
+  runs (``csar-repro run --sanitize``, ``CSAR_LOCKSAN=1`` for tests).
+
+See ``docs/ANALYSIS.md`` for every rule with an offending snippet and
+its fix.
+"""
+
+from repro.analysis.lint import (Finding, format_json, format_text,
+                                 lint_file, lint_paths, lint_source)
+from repro.analysis.locksan import LockSan, LockSanReport, drain_reports
+from repro.analysis.rules import RULES, Rule, all_codes
+
+__all__ = [
+    "Finding",
+    "LockSan",
+    "LockSanReport",
+    "RULES",
+    "Rule",
+    "all_codes",
+    "drain_reports",
+    "format_json",
+    "format_text",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,590 @@
+"""``csar-lint``: static protocol checks for CSAR simulation code.
+
+A stdlib-:mod:`ast` analysis pass with CSAR-specific rules (see
+:mod:`repro.analysis.rules` for the registry and ``docs/ANALYSIS.md``
+for worked examples):
+
+* **CSAR001** — a generator function acquires a lock/resource
+  (``*.acquire(...)`` or ``*.request()``) without a ``try/finally`` (or
+  an ``except`` handler) that releases it, and without using the request
+  as a context manager.
+* **CSAR002** — parity-group locks acquired in statically-descending
+  group order, either as consecutive literal groups or by iterating a
+  descending literal sequence.
+* **CSAR003** — a process body (a generator returning
+  ``Generator[Event, ...]``, or one that yields ``.timeout(...)``
+  events) yields an expression that cannot be an :class:`Event`
+  (literals, arithmetic, comparisons, container displays, bare
+  ``yield``).
+* **CSAR004** — wall-clock time or unseeded module-level randomness
+  (``time.time``, ``time.sleep``, ``random.random``, ...) inside a
+  ``sim``/``redundancy`` module, which breaks run-to-run determinism.
+* **CSAR005** — ``event.fail(exc)`` on a locally-created event that
+  never escapes the function and is never ``defused()`` — the failure
+  re-raises at the end of :meth:`Environment.run`.
+
+Findings can be suppressed per line with a trailing comment::
+
+    self.locks.acquire(f, g, xid)  # csar-lint: disable=CSAR001
+
+``disable`` with no codes suppresses every rule on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules import RULES, all_codes
+
+#: Attribute names treated as lock/resource acquisition (CSAR001/CSAR002).
+_ACQUIRE_ATTRS = ("acquire",)
+#: ``.request()`` only counts with zero arguments (Resource.request()).
+_REQUEST_ATTR = "request"
+#: Attribute names treated as a release for guard detection.
+_RELEASE_ATTRS = ("release", "cancel")
+
+#: ``<module>.<attr>`` calls that read the wall clock or draw unseeded
+#: randomness (CSAR004).
+_WALL_CLOCK = {
+    "time": ("time", "time_ns", "sleep", "monotonic", "monotonic_ns",
+             "perf_counter", "perf_counter_ns"),
+    "random": ("random", "randint", "randrange", "uniform", "choice",
+               "choices", "shuffle", "sample", "getrandbits", "gauss"),
+    "datetime": ("now", "utcnow", "today"),
+}
+
+#: Expression node types a process must never yield (CSAR003): none of
+#: these can evaluate to an Event.
+_NON_EVENT_YIELDS = (
+    ast.Constant, ast.BinOp, ast.UnaryOp, ast.BoolOp, ast.Compare,
+    ast.JoinedStr, ast.List, ast.Tuple, ast.Dict, ast.Set,
+    ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit, ready to print or serialize."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def fixit(self) -> str:
+        rule = RULES.get(self.code)
+        return rule.fixit if rule else ""
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.code} "
+                f"{self.message}")
+
+
+# ----------------------------------------------------------------------
+# suppression comments
+# ----------------------------------------------------------------------
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed codes (``None`` = all codes)."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            text = tok.string.lstrip("#").strip()
+            marker = text.find("csar-lint:")
+            if marker < 0:
+                continue
+            directive = text[marker + len("csar-lint:"):].strip()
+            if not directive.startswith("disable"):
+                continue
+            rest = directive[len("disable"):].strip()
+            if rest.startswith("="):
+                codes = {c.strip() for c in rest[1:].split(",") if c.strip()}
+                out[tok.start[0]] = codes
+            else:
+                out[tok.start[0]] = None  # disable everything on the line
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def _suppressed(supp: Dict[int, Optional[Set[str]]],
+                line: int, code: str) -> bool:
+    if line not in supp:
+        return False
+    codes = supp[line]
+    return codes is None or code in codes
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _own_nodes(func: ast.FunctionDef) -> Iterable[ast.AST]:
+    """All nodes of ``func``'s body, not descending into nested scopes."""
+    todo: List[ast.AST] = list(func.body)
+    while todo:
+        node = todo.pop()
+        yield node
+        if isinstance(node, _SCOPES):
+            continue
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(func: ast.FunctionDef) -> bool:
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom))
+               for n in _own_nodes(func))
+
+
+def _call_attr(node: ast.AST) -> Optional[str]:
+    """The attribute name of a method call, e.g. ``x.y.acquire(...)``."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_acquire_call(node: ast.AST) -> bool:
+    attr = _call_attr(node)
+    if attr in _ACQUIRE_ATTRS:
+        return True
+    return attr == _REQUEST_ATTR and not node.args and not node.keywords
+
+
+def _contains_release(nodes: Sequence[ast.stmt]) -> bool:
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if _call_attr(node) in _RELEASE_ATTRS:
+                return True
+    return False
+
+
+def _parent_map(func: ast.FunctionDef) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    todo: List[ast.AST] = [func]
+    while todo:
+        node = todo.pop()
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+            todo.append(child)
+    return parents
+
+
+def _block_key(node: ast.AST,
+               parents: Dict[ast.AST, ast.AST]) -> Tuple[int, str]:
+    """Identify the statement list (``body``/``orelse``/...) holding
+    ``node``, so checks can restrict themselves to straight-line code."""
+    current = node
+    while current in parents:
+        parent = parents[current]
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(parent, field, None)
+            if isinstance(block, list) and current in block:
+                return (id(parent), field)
+        current = parent
+    return (id(current), "body")
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+# ----------------------------------------------------------------------
+# the per-file linter
+# ----------------------------------------------------------------------
+class FileLinter:
+    """Run every enabled rule over one parsed module."""
+
+    def __init__(self, path: str, source: str,
+                 enable: Optional[Iterable[str]] = None) -> None:
+        self.path = path
+        self.source = source
+        self.enable = set(enable) if enable is not None else set(all_codes())
+        self.findings: List[Finding] = []
+        self._supp = _suppressions(source)
+
+    # -- plumbing -------------------------------------------------------
+    def _report(self, code: str, node: ast.AST, message: str) -> None:
+        if code not in self.enable:
+            return
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if _suppressed(self._supp, line, code):
+            return
+        self.findings.append(Finding(self.path, line, col, code, message))
+
+    # -- entry point ----------------------------------------------------
+    def run(self) -> List[Finding]:
+        try:
+            tree = ast.parse(self.source, filename=self.path)
+        except SyntaxError as err:
+            line = err.lineno or 1
+            self.findings.append(Finding(
+                self.path, line, err.offset or 0, "CSAR000",
+                f"syntax error: {err.msg}"))
+            return self.findings
+        sim_scoped = self._is_sim_scoped()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef):
+                self._check_function(node, sim_scoped)
+        if sim_scoped:
+            self._check_wall_clock(tree)
+        self.findings.sort(key=lambda f: (f.line, f.col, f.code))
+        return self.findings
+
+    def _is_sim_scoped(self) -> bool:
+        """CSAR004 applies only to ``sim``/``redundancy`` modules."""
+        parts = os.path.normpath(self.path).split(os.sep)
+        return any(part in ("sim", "redundancy") for part in parts)
+
+    # -- dispatch -------------------------------------------------------
+    def _check_function(self, func: ast.FunctionDef,
+                        sim_scoped: bool) -> None:
+        nodes = list(_own_nodes(func))
+        generator = any(isinstance(n, (ast.Yield, ast.YieldFrom))
+                        for n in nodes)
+        if generator:
+            self._check_release_guard(func, nodes)
+            self._check_lock_order(func, nodes)
+            self._check_yields(func, nodes)
+        self._check_lost_failures(func, nodes)
+
+    # -- CSAR001 --------------------------------------------------------
+    def _check_release_guard(self, func: ast.FunctionDef,
+                             nodes: List[ast.AST]) -> None:
+        acquires = [n for n in nodes if _is_acquire_call(n)]
+        if not acquires:
+            return
+        # A try whose finally (or except handler) releases guards every
+        # acquisition in the function: the idiom is acquire-before-try
+        # with the blocking yield inside the try.
+        for node in nodes:
+            if isinstance(node, ast.Try):
+                if _contains_release(node.finalbody):
+                    return
+                for handler in node.handlers:
+                    if _contains_release(handler.body):
+                        return
+        with_guarded: Set[int] = set()
+        for node in nodes:
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    for sub in ast.walk(item.context_expr):
+                        with_guarded.add(id(sub))
+        for call in acquires:
+            if id(call) in with_guarded:
+                continue
+            self._report(
+                "CSAR001", call,
+                f"{ast.unparse(call.func)}() without a try/finally or "
+                "context manager guaranteeing release on all paths "
+                f"[fix: {RULES['CSAR001'].fixit}]")
+
+    # -- CSAR002 --------------------------------------------------------
+    def _check_lock_order(self, func: ast.FunctionDef,
+                          nodes: List[ast.AST]) -> None:
+        parents = _parent_map(func)
+        acquires: List[ast.Call] = []
+        releases: List[ast.AST] = []
+        for node in nodes:
+            if _call_attr(node) in _ACQUIRE_ATTRS:
+                acquires.append(node)
+            elif _call_attr(node) in _RELEASE_ATTRS:
+                releases.append(node)
+        acquires.sort(key=lambda n: (n.lineno, n.col_offset))
+        release_lines = sorted(n.lineno for n in releases)
+
+        def group_const(call: ast.Call) -> Optional[int]:
+            arg = None
+            if len(call.args) >= 2:
+                arg = call.args[1]
+            for kw in call.keywords:
+                if kw.arg == "group":
+                    arg = kw.value
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+                return arg.value
+            return None
+
+        def group_name(call: ast.Call) -> Optional[str]:
+            arg = call.args[1] if len(call.args) >= 2 else None
+            for kw in call.keywords:
+                if kw.arg == "group":
+                    arg = kw.value
+            if isinstance(arg, ast.Name):
+                return arg.id
+            return None
+
+        # Consecutive literal groups in the same straight-line block.
+        prev: Optional[Tuple[int, Tuple[int, str], int]] = None
+        for call in acquires:
+            const = group_const(call)
+            block = _block_key(call, parents)
+            if const is None:
+                prev = None
+                continue
+            if prev is not None:
+                prev_group, prev_block, prev_line = prev
+                released_between = any(prev_line <= line <= call.lineno
+                                       for line in release_lines)
+                if (block == prev_block and const < prev_group
+                        and not released_between):
+                    self._report(
+                        "CSAR002", call,
+                        f"parity lock for group {const} acquired while "
+                        f"group {prev_group} is held — descending order "
+                        "can deadlock against a client locking ascending "
+                        f"[fix: {RULES['CSAR002'].fixit}]")
+            prev = (const, block, call.lineno)
+
+        # ``for g in (5, 3): ... acquire(f, g, ...)`` over a descending
+        # literal sequence.
+        for node in nodes:
+            if not isinstance(node, ast.For):
+                continue
+            if not isinstance(node.iter, (ast.Tuple, ast.List)):
+                continue
+            values = []
+            for elt in node.iter.elts:
+                if not (isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, int)):
+                    values = []
+                    break
+                values.append(elt.value)
+            if len(values) < 2 or values == sorted(values):
+                continue
+            if not isinstance(node.target, ast.Name):
+                continue
+            loop_var = node.target.id
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    if (_call_attr(sub) in _ACQUIRE_ATTRS
+                            and group_name(sub) == loop_var):
+                        self._report(
+                            "CSAR002", sub,
+                            f"parity locks acquired over descending "
+                            f"literal groups {tuple(values)} "
+                            f"[fix: {RULES['CSAR002'].fixit}]")
+
+    # -- CSAR003 --------------------------------------------------------
+    def _check_yields(self, func: ast.FunctionDef,
+                      nodes: List[ast.AST]) -> None:
+        if not self._is_process_body(func, nodes):
+            return
+        unreachable = self._unreachable_statements(func, nodes)
+        for node in nodes:
+            if not isinstance(node, ast.Yield):
+                continue
+            if any(node.lineno >= stmt.lineno
+                   and node.lineno <= getattr(stmt, "end_lineno",
+                                              stmt.lineno)
+                   for stmt in unreachable):
+                # ``raise ...`` followed by ``yield``: the standard idiom
+                # for forcing a function to be a generator.
+                continue
+            value = node.value
+            if value is None:
+                self._report(
+                    "CSAR003", node,
+                    "bare yield in a process body — a process must yield "
+                    f"Events [fix: {RULES['CSAR003'].fixit}]")
+            elif isinstance(value, _NON_EVENT_YIELDS):
+                self._report(
+                    "CSAR003", node,
+                    f"yield of {ast.unparse(value)!r} which cannot be an "
+                    f"Event [fix: {RULES['CSAR003'].fixit}]")
+
+    @staticmethod
+    def _unreachable_statements(func: ast.FunctionDef,
+                                nodes: List[ast.AST]) -> List[ast.stmt]:
+        """Statements that follow a terminator in the same block."""
+        out: List[ast.stmt] = []
+        containers: List[ast.AST] = [func]
+        containers.extend(nodes)
+        for node in containers:
+            for field in ("body", "orelse", "finalbody"):
+                block = getattr(node, field, None)
+                if not isinstance(block, list):
+                    continue
+                terminated = False
+                for stmt in block:
+                    if terminated and isinstance(stmt, ast.stmt):
+                        out.append(stmt)
+                    if isinstance(stmt, (ast.Raise, ast.Return,
+                                         ast.Break, ast.Continue)):
+                        terminated = True
+        return out
+
+    @staticmethod
+    def _is_process_body(func: ast.FunctionDef,
+                         nodes: List[ast.AST]) -> bool:
+        """Process bodies are typed ``Generator[Event, ...]`` (the
+        repo-wide convention) or demonstrably yield timeout events."""
+        if func.returns is not None:
+            annotation = ast.unparse(func.returns)
+            if "Event" in annotation:
+                return True
+        for node in nodes:
+            if (isinstance(node, (ast.Yield, ast.YieldFrom))
+                    and node.value is not None
+                    and _call_attr(node.value) == "timeout"):
+                return True
+        return False
+
+    # -- CSAR004 --------------------------------------------------------
+    def _check_wall_clock(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)):
+                continue
+            module = node.func.value.id
+            attr = node.func.attr
+            if attr in _WALL_CLOCK.get(module, ()):
+                self._report(
+                    "CSAR004", node,
+                    f"{module}.{attr}() in a sim/redundancy module breaks "
+                    f"determinism [fix: {RULES['CSAR004'].fixit}]")
+
+    # -- CSAR005 --------------------------------------------------------
+    def _check_lost_failures(self, func: ast.FunctionDef,
+                             nodes: List[ast.AST]) -> None:
+        fails: List[Tuple[str, ast.Call]] = []
+        for node in nodes:
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "fail"
+                    and node.args
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id not in ("self", "cls")):
+                fails.append((node.func.value.id, node))
+        if not fails:
+            return
+        for name, call in fails:
+            if self._defused_or_escapes(name, call, nodes):
+                continue
+            self._report(
+                "CSAR005", call,
+                f"{name}.fail(...) but {name!r} never escapes this "
+                "function and is never defused(): the failure re-raises "
+                "at the end of Environment.run() "
+                f"[fix: {RULES['CSAR005'].fixit}]")
+
+    @staticmethod
+    def _defused_or_escapes(name: str, fail_call: ast.Call,
+                            nodes: List[ast.AST]) -> bool:
+        for node in nodes:
+            # Explicitly defused.
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "defused"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name):
+                return True
+            # Escapes: returned or yielded.
+            if (isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom))
+                    and node.value is not None
+                    and name in _names_in(node.value)):
+                return True
+            # Escapes: passed as an argument to any call.
+            if isinstance(node, ast.Call) and node is not fail_call:
+                in_args = any(name in _names_in(a) for a in node.args)
+                in_kwargs = any(name in _names_in(k.value)
+                                for k in node.keywords)
+                if in_args or in_kwargs:
+                    return True
+            # Escapes: stored into an attribute, subscript, or container.
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                value = getattr(node, "value", None)
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                stored = any(isinstance(t, (ast.Attribute, ast.Subscript))
+                             for t in targets)
+                if (stored and value is not None
+                        and name in _names_in(value)):
+                    return True
+            if (isinstance(node, (ast.List, ast.Tuple, ast.Set, ast.Dict))
+                    and name in _names_in(node)):
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+def lint_source(source: str, path: str = "<string>",
+                enable: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint one module given as a string."""
+    return FileLinter(path, source, enable=enable).run()
+
+
+def lint_file(path: str,
+              enable: Optional[Iterable[str]] = None) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as fp:
+        return lint_source(fp.read(), path=path, enable=enable)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames
+                               if d not in ("__pycache__", ".git")]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            yield path
+
+
+def lint_paths(paths: Iterable[str],
+               enable: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint files and directory trees; findings sorted by location."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, enable=enable))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def enabled_codes_from_pyproject(root: str = ".") -> Optional[List[str]]:
+    """The ``[tool.csar-lint] enable`` list, if configured."""
+    candidate = os.path.join(root, "pyproject.toml")
+    if not os.path.exists(candidate):
+        return None
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - python < 3.11
+        return None
+    with open(candidate, "rb") as fp:
+        data = tomllib.load(fp)
+    section = data.get("tool", {}).get("csar-lint", {})
+    enable = section.get("enable")
+    if isinstance(enable, list):
+        return [str(code) for code in enable]
+    return None
+
+
+def format_text(findings: List[Finding]) -> str:
+    lines = [f.format() for f in findings]
+    if findings:
+        lines.append(f"{len(findings)} finding"
+                     f"{'s' if len(findings) != 1 else ''}")
+    return "\n".join(lines)
+
+
+def format_json(findings: List[Finding]) -> str:
+    return json.dumps(
+        [{"path": f.path, "line": f.line, "col": f.col, "code": f.code,
+          "message": f.message, "fixit": f.fixit} for f in findings],
+        indent=2)

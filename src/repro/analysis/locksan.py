@@ -1,0 +1,293 @@
+"""LockSan: a runtime sanitizer for the Section 5.1 parity-lock protocol.
+
+When installed (:func:`install`, the CLI's ``run --sanitize``, or the
+``CSAR_LOCKSAN=1`` environment variable honored by the test suite's
+``conftest``), every new :class:`~repro.sim.engine.Environment` gets a
+:class:`LockSan` instance attached as ``env.sanitizer``.  The lock
+primitives then report into it:
+
+* :class:`~repro.sim.resources.FifoLock` reports raw request / grant /
+  release transitions — the basis of the *leak* check (locks still held
+  when :meth:`Environment.run` drains the event heap);
+* :class:`~repro.redundancy.locks.ParityLockTable` reports protocol
+  events keyed by ``xid`` with ``(file, group)`` labels — the basis of
+  the *lock-order inversion* check (acquiring group *g₂ < g₁* while
+  holding *g₁* on the same file), the *wait-for cycle* check (true
+  deadlock, raised as :class:`DeadlockError` with the process names
+  involved **before** the simulation hangs), and the *double-release*
+  check.
+
+Tracking is keyed by ``xid`` (the client transaction), not by the server
+handler process: a client's two parity-group acquisitions arrive as
+separate messages handled by separate server processes, possibly on
+different servers, so only the xid view can see a cross-server
+inversion or wait-for cycle.
+
+All checks except deadlock *collect* :class:`LockSanReport` entries
+rather than raising, so a full test run can finish and report
+everything; pass ``strict=True`` to raise on the first report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import DeadlockError, LockSanError
+
+#: Every sanitizer created since the last :func:`drain_reports` call;
+#: lets the CLI and the pytest hook sweep reports across many
+#: Environments without threading the instances through.
+_ACTIVE: List["LockSan"] = []
+
+_Key = Tuple[str, int]  # (file, parity group)
+
+
+@dataclass(frozen=True)
+class LockSanReport:
+    """One sanitizer observation."""
+
+    kind: str                 # "order-inversion" | "deadlock" |
+                              # "double-release" | "leak"
+    message: str
+    file: Optional[str]
+    group: Optional[int]
+    processes: Tuple[str, ...]
+
+    def format(self) -> str:
+        procs = ", ".join(self.processes) or "<unknown>"
+        return f"LockSan[{self.kind}] {self.message} (processes: {procs})"
+
+
+class LockSan:
+    """Per-:class:`Environment` lock-protocol sanitizer."""
+
+    def __init__(self, strict: bool = False,
+                 raise_on_deadlock: bool = True) -> None:
+        self.strict = strict
+        self.raise_on_deadlock = raise_on_deadlock
+        self.reports: List[LockSanReport] = []
+        # -- xid-keyed protocol state (ParityLockTable) ----------------
+        #: xid -> {(file, group): process name that acquired it}
+        self._held_by_xid: Dict[int, Dict[_Key, str]] = {}
+        #: (file, group) -> xid currently holding the parity lock
+        self._holder: Dict[_Key, int] = {}
+        #: (file, group) -> xids queued FIFO behind the holder
+        self._waiters: Dict[_Key, List[int]] = {}
+        #: xid -> (file, group) it is blocked on
+        self._waiting_on: Dict[int, _Key] = {}
+        #: xid -> name of the process that last acted for it
+        self._proc_of_xid: Dict[int, str] = {}
+        # -- raw lock state (FifoLock) ---------------------------------
+        #: request id -> (lock, process name) for granted requests
+        self._lock_owner: Dict[int, Tuple[Any, str]] = {}
+        #: request ids released (or cancelled) before their grant
+        #: callback ran — the grant must then be ignored.
+        self._dead_requests: Set[int] = set()
+        #: lock -> (file, group) label, registered by ParityLockTable
+        self._labels: Dict[int, _Key] = {}
+        _ACTIVE.append(self)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _report(self, kind: str, message: str, file: Optional[str] = None,
+                group: Optional[int] = None,
+                processes: Tuple[str, ...] = ()) -> LockSanReport:
+        report = LockSanReport(kind, message, file, group, processes)
+        self.reports.append(report)
+        if self.strict:
+            raise LockSanError(report.format())
+        return report
+
+    # ------------------------------------------------------------------
+    # FifoLock instrumentation (raw holds; feeds the leak check)
+    # ------------------------------------------------------------------
+    def label_lock(self, lock: Any, file: str, group: int) -> None:
+        """Attach ``(file, group)`` so leak reports can name the lock."""
+        self._labels[id(lock)] = (file, group)
+
+    def on_lock_granted(self, lock: Any, request: Any,
+                        proc_name: str) -> None:
+        if id(request) in self._dead_requests:
+            self._dead_requests.discard(id(request))
+            return
+        self._lock_owner[id(request)] = (lock, proc_name)
+
+    def on_lock_released(self, lock: Any, request: Any) -> None:
+        if id(request) not in self._lock_owner:
+            # Released before the grant callback ran (interrupt delivered
+            # between grant and resume) or cancelled while queued.
+            self._dead_requests.add(id(request))
+            return
+        del self._lock_owner[id(request)]
+
+    # ------------------------------------------------------------------
+    # ParityLockTable instrumentation (xid-keyed protocol checks)
+    # ------------------------------------------------------------------
+    def on_wait(self, file: str, group: int, xid: int,
+                proc_name: str) -> None:
+        """``xid`` queued behind the holder of ``(file, group)``."""
+        key = (file, group)
+        self._proc_of_xid[xid] = proc_name
+        self._waiters.setdefault(key, []).append(xid)
+        self._waiting_on[xid] = key
+        cycle = self._find_cycle(xid)
+        if cycle is not None:
+            names = tuple(self._proc_of_xid.get(x, f"xid {x}")
+                          for x in cycle)
+            chain = " -> ".join(
+                f"{self._proc_of_xid.get(x, 'xid ' + str(x))}"
+                f"(xid {x})" for x in cycle)
+            report = self._report(
+                "deadlock",
+                f"wait-for cycle on parity locks: {chain} -> back to "
+                f"start; blocked on {file}:{group}",
+                file=file, group=group, processes=names)
+            if self.raise_on_deadlock and not self.strict:
+                raise DeadlockError(report.format())
+
+    def on_cancel(self, file: str, group: int, xid: int,
+                  proc_name: str) -> None:
+        """``xid``'s queued acquire was interrupted and cancelled."""
+        key = (file, group)
+        waiters = self._waiters.get(key, [])
+        if xid in waiters:
+            waiters.remove(xid)
+        self._waiting_on.pop(xid, None)
+
+    def on_acquired(self, file: str, group: int, xid: int,
+                    proc_name: str) -> None:
+        key = (file, group)
+        self._proc_of_xid[xid] = proc_name
+        waiters = self._waiters.get(key, [])
+        if xid in waiters:
+            waiters.remove(xid)
+        self._waiting_on.pop(xid, None)
+        held = self._held_by_xid.setdefault(xid, {})
+        for (other_file, other_group), holder_proc in held.items():
+            if other_file == file and other_group > group:
+                self._report(
+                    "order-inversion",
+                    f"xid {xid} acquired parity lock {file}:{group} while "
+                    f"holding {other_file}:{other_group} — groups must be "
+                    "taken in ascending order (Section 5.1)",
+                    file=file, group=group,
+                    processes=(proc_name, holder_proc))
+        held[key] = proc_name
+        self._holder[key] = xid
+
+    def on_released(self, file: str, group: int, xid: int) -> None:
+        key = (file, group)
+        held = self._held_by_xid.get(xid)
+        if held is not None:
+            held.pop(key, None)
+            if not held:
+                del self._held_by_xid[xid]
+        if self._holder.get(key) == xid:
+            del self._holder[key]
+
+    def on_double_release(self, file: str, group: int, xid: int,
+                          proc_name: str) -> None:
+        self._report(
+            "double-release",
+            f"xid {xid} released parity lock {file}:{group} it does not "
+            "hold",
+            file=file, group=group, processes=(proc_name,))
+
+    # ------------------------------------------------------------------
+    # wait-for cycle detection
+    # ------------------------------------------------------------------
+    def _find_cycle(self, start: int) -> Optional[List[int]]:
+        """DFS over the xid wait-for graph; a waiter waits for the
+        holder of its lock and for every xid queued ahead of it."""
+
+        def edges(xid: int) -> List[int]:
+            key = self._waiting_on.get(xid)
+            if key is None:
+                return []
+            out: List[int] = []
+            holder = self._holder.get(key)
+            if holder is not None:
+                out.append(holder)
+            queue = self._waiters.get(key, [])
+            if xid in queue:
+                out.extend(queue[:queue.index(xid)])
+            return out
+
+        path: List[int] = []
+        on_path: Set[int] = set()
+        visited: Set[int] = set()
+
+        def dfs(xid: int) -> Optional[List[int]]:
+            if xid in on_path:
+                return path[path.index(xid):]
+            if xid in visited:
+                return None
+            visited.add(xid)
+            path.append(xid)
+            on_path.add(xid)
+            for nxt in edges(xid):
+                found = dfs(nxt)
+                if found is not None:
+                    return found
+            path.pop()
+            on_path.discard(xid)
+            return None
+
+        return dfs(start)
+
+    # ------------------------------------------------------------------
+    # teardown (wired into Environment.run when the heap drains)
+    # ------------------------------------------------------------------
+    def on_run_complete(self) -> None:
+        """Report every lock still held — a leaked lock can never be
+        granted to anyone else."""
+        for lock, proc_name in self._lock_owner.values():
+            label = self._labels.get(id(lock))
+            if label is not None:
+                file, group = label
+                where = f"parity lock {file}:{group}"
+            else:
+                file = group = None
+                where = f"{type(lock).__name__} 0x{id(lock):x}"
+            self._report(
+                "leak",
+                f"{where} still held by {proc_name!r} when the "
+                "simulation drained",
+                file=file, group=group, processes=(proc_name,))
+        self._lock_owner.clear()
+
+
+# ----------------------------------------------------------------------
+# global installation
+# ----------------------------------------------------------------------
+def install(strict: bool = False) -> None:
+    """Attach a fresh LockSan to every Environment created from now on."""
+    from repro.sim import engine
+
+    engine.set_sanitizer_factory(lambda: LockSan(strict=strict))
+
+
+def uninstall() -> None:
+    """Stop sanitizing new Environments."""
+    from repro.sim import engine
+
+    engine.set_sanitizer_factory(None)
+
+
+def installed() -> bool:
+    from repro.sim import engine
+
+    return engine.sanitizer_factory() is not None
+
+
+def drain_reports() -> List[LockSanReport]:
+    """Collect (and clear) reports from every sanitizer created since
+    the previous drain."""
+    out: List[LockSanReport] = []
+    for sanitizer in _ACTIVE:
+        out.extend(sanitizer.reports)
+        sanitizer.reports = []
+    _ACTIVE.clear()
+    return out

@@ -1,0 +1,86 @@
+"""The ``csar-lint`` rule registry.
+
+Each rule has a stable ``CSAR###`` code, a one-line summary, and a fix-it
+hint.  The registry is the single source of truth shared by the linter,
+the CLI (``csar-repro lint --list-rules``), the documentation
+(``docs/ANALYSIS.md``), and ``pyproject.toml``'s ``[tool.csar-lint]``
+``enable`` list.
+
+Rules target the failure modes of the Section 5.1 parity-lock protocol
+and of generator-based simulation processes in general: a missed
+``release`` leaks a lock forever, an out-of-order acquire defeats the
+paper's deadlock-avoidance invariant, and a non-:class:`Event` ``yield``
+kills a process with a runtime error only when that path executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static check: stable code, summary, and how to fix it."""
+
+    code: str
+    name: str
+    summary: str
+    fixit: str
+
+
+RULES: Dict[str, Rule] = {
+    rule.code: rule for rule in (
+        Rule(
+            code="CSAR001",
+            name="unguarded-acquire",
+            summary="lock or resource acquired without a guaranteed "
+                    "release on all paths",
+            fixit="release in a try/finally (or an except handler that "
+                  "cancels the request), or use the request as a context "
+                  "manager; if the release is protocol-carried in another "
+                  "handler, suppress with a comment explaining why",
+        ),
+        Rule(
+            code="CSAR002",
+            name="descending-lock-order",
+            summary="parity locks acquired in descending group order "
+                    "(violates the Section 5.1 deadlock-avoidance "
+                    "invariant)",
+            fixit="always acquire parity-group locks in ascending group "
+                  "order; sort the groups before locking",
+        ),
+        Rule(
+            code="CSAR003",
+            name="non-event-yield",
+            summary="process body yields an expression that cannot be an "
+                    "Event",
+            fixit="yield an Event (env.timeout(...), a Request, a "
+                  "Process, ...); plain values terminate the process "
+                  "with a SimulationError at run time",
+        ),
+        Rule(
+            code="CSAR004",
+            name="wall-clock-in-sim",
+            summary="wall-clock or unseeded randomness inside a "
+                    "sim/redundancy module breaks determinism",
+            fixit="use env.now for time and a seeded random.Random / "
+                  "numpy Generator instance for randomness",
+        ),
+        Rule(
+            code="CSAR005",
+            name="fail-without-defuse",
+            summary="Event.fail() on an event that never escapes and is "
+                    "never defused — the failure re-raises at the end of "
+                    "Environment.run()",
+            fixit="yield on the event, hand it to a waiter, or call "
+                  ".defused() after .fail() when the failure is "
+                  "intentional and handled",
+        ),
+    )
+}
+
+
+def all_codes() -> tuple:
+    """Every registered rule code, sorted."""
+    return tuple(sorted(RULES))

@@ -5,7 +5,8 @@
     csar-repro list
     csar-repro run fig3
     csar-repro run fig6a --scale 0.1
-    csar-repro run all --scale 0.05
+    csar-repro run all --scale 0.05 --sanitize
+    csar-repro lint src --format=json
 """
 
 from __future__ import annotations
@@ -29,34 +30,80 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(ids: List[str], scale: Optional[float],
-             csv_dir: Optional[str] = None, chart: bool = False) -> int:
+             csv_dir: Optional[str] = None, chart: bool = False,
+             sanitize: bool = False) -> int:
+    previous_factory = None
+    if sanitize:
+        from repro.analysis import locksan
+        from repro.sim import engine
+        previous_factory = engine.sanitizer_factory()
+        locksan.install()
     if ids == ["all"]:
         ids = sorted(REGISTRY)
     status = 0
-    for exp_id in ids:
-        try:
-            exp = get_experiment(exp_id)
-        except ConfigError as err:
-            print(f"error: {err}", file=sys.stderr)
-            return 2
-        effective = exp.default_scale if scale is None else scale
-        t0 = time.time()
-        table = exp.run(scale=effective)
-        wall = time.time() - t0
-        print(table.format())
-        if chart:
-            from repro.util.charts import chart_table
-            print()
-            print(chart_table(table))
-        print(f"(scale {effective:g}, {wall:.1f}s wall)\n")
-        if csv_dir is not None:
-            import os
-            os.makedirs(csv_dir, exist_ok=True)
-            out_path = os.path.join(csv_dir, f"{exp_id}.csv")
-            with open(out_path, "w") as fp:
-                fp.write(table.to_csv())
-            print(f"wrote {out_path}\n")
+    try:
+        for exp_id in ids:
+            try:
+                exp = get_experiment(exp_id)
+            except ConfigError as err:
+                print(f"error: {err}", file=sys.stderr)
+                return 2
+            effective = exp.default_scale if scale is None else scale
+            t0 = time.time()
+            try:
+                table = exp.run(scale=effective)
+            except Exception as err:
+                print(f"error: experiment {exp_id} failed: "
+                      f"{type(err).__name__}: {err}", file=sys.stderr)
+                status = 1
+                continue
+            wall = time.time() - t0
+            print(table.format())
+            if chart:
+                from repro.util.charts import chart_table
+                print()
+                print(chart_table(table))
+            print(f"(scale {effective:g}, {wall:.1f}s wall)\n")
+            if sanitize:
+                from repro.analysis import locksan
+                for report in locksan.drain_reports():
+                    print(f"{exp_id}: {report.format()}", file=sys.stderr)
+                    status = 1
+            if csv_dir is not None:
+                import os
+                os.makedirs(csv_dir, exist_ok=True)
+                out_path = os.path.join(csv_dir, f"{exp_id}.csv")
+                with open(out_path, "w") as fp:
+                    fp.write(table.to_csv())
+                print(f"wrote {out_path}\n")
+    finally:
+        if sanitize:
+            from repro.sim import engine
+            engine.set_sanitizer_factory(previous_factory)
     return status
+
+
+def _cmd_lint(paths: List[str], fmt: str, list_rules: bool) -> int:
+    from repro.analysis import lint
+    from repro.analysis.rules import RULES
+
+    if list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{code} ({rule.name}): {rule.summary}")
+        return 0
+    import os
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    enable = lint.enabled_codes_from_pyproject()
+    findings = lint.lint_paths(paths, enable=enable)
+    if fmt == "json":
+        print(lint.format_json(findings))
+    elif findings:
+        print(lint.format_text(findings))
+    return 1 if findings else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -78,10 +125,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "directory")
     run_p.add_argument("--chart", action="store_true",
                        help="also render each result as a terminal chart")
+    run_p.add_argument("--sanitize", action="store_true",
+                       help="run under the LockSan lock-protocol "
+                            "sanitizer; reports fail the run")
     report_p = sub.add_parser(
         "report", help="run the paper-claim checklist and print verdicts")
     report_p.add_argument("--scale", type=float, default=None,
                           help="data-volume scale factor")
+    lint_p = sub.add_parser(
+        "lint", help="run the csar-lint static protocol checks")
+    lint_p.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    lint_p.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="output format (default: text)")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print every rule code and exit")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -91,7 +150,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         text, ok = run_report(scale=args.scale)
         print(text)
         return 0 if ok else 1
-    return _cmd_run(args.ids, args.scale, args.csv_dir, args.chart)
+    if args.command == "lint":
+        return _cmd_lint(args.paths, args.fmt, args.list_rules)
+    return _cmd_run(args.ids, args.scale, args.csv_dir, args.chart,
+                    args.sanitize)
 
 
 if __name__ == "__main__":  # pragma: no cover

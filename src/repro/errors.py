@@ -61,3 +61,14 @@ class InconsistentRedundancy(FileSystemError):
 
 class LockProtocolError(ProtocolError):
     """The distributed parity-lock protocol was used out of order."""
+
+
+class LockSanError(ProtocolError):
+    """The LockSan runtime sanitizer observed a protocol violation
+    (see :mod:`repro.analysis.locksan`)."""
+
+
+class DeadlockError(LockSanError):
+    """LockSan found a wait-for cycle among parity-lock waiters: the
+    simulation would hang.  Raised *before* the hang, naming the
+    processes involved."""

@@ -44,7 +44,14 @@ class ParityLockTable:
         if lock is None:
             lock = FifoLock(self.env)
             self._locks[key] = lock
+            san = self.env.sanitizer
+            if san is not None:
+                san.label_lock(lock, file, group)
         return lock
+
+    def _proc_name(self) -> str:
+        proc = self.env.active_process
+        return proc.name if proc is not None else "<main>"
 
     # ------------------------------------------------------------------
     def acquire(self, file: str, group: int,
@@ -59,13 +66,27 @@ class ParityLockTable:
         lock = self._lock(file, group)
         contended = lock.locked
         t0 = self.env.now
+        san = self.env.sanitizer
         request = lock.request()
-        yield request
+        try:
+            if san is not None and not request.triggered:
+                san.on_wait(file, group, xid, self._proc_name())
+            yield request
+        except BaseException:
+            # Interrupted (or killed) while queued: cancel the request so
+            # the lock is not leaked; if the grant raced ahead of the
+            # interrupt, this releases the just-granted slot instead.
+            lock.release(request)
+            if san is not None:
+                san.on_cancel(file, group, xid, self._proc_name())
+            raise
         self.acquisitions += 1
         if contended:
             self.contended_acquisitions += 1
         self.total_wait_time += self.env.now - t0
         self._held[key] = request
+        if san is not None:
+            san.on_acquired(file, group, xid, self._proc_name())
 
     def release(self, file: str, group: int, xid: int) -> None:
         """Release after the parity write; no-op when locking is off."""
@@ -73,10 +94,16 @@ class ParityLockTable:
             return
         request = self._held.pop((file, group, xid), None)
         if request is None:
+            san = self.env.sanitizer
+            if san is not None:
+                san.on_double_release(file, group, xid, self._proc_name())
             raise LockProtocolError(
                 f"xid {xid} released parity lock {file}:{group} "
                 "it does not hold")
         request.resource.release(request)
+        san = self.env.sanitizer
+        if san is not None:
+            san.on_released(file, group, xid)
 
     # ------------------------------------------------------------------
     def is_locked(self, file: str, group: int) -> bool:

@@ -28,6 +28,22 @@ from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import SimulationError
 
+#: Optional factory installed by :func:`repro.analysis.locksan.install`;
+#: called once per new :class:`Environment` to build its sanitizer.
+#: Kept as a module-level hook so the engine never imports the analysis
+#: package (which imports the engine).
+_sanitizer_factory: Optional[Callable[[], Any]] = None
+
+
+def set_sanitizer_factory(factory: Optional[Callable[[], Any]]) -> None:
+    """Install (or, with ``None``, remove) the sanitizer factory."""
+    global _sanitizer_factory
+    _sanitizer_factory = factory
+
+
+def sanitizer_factory() -> Optional[Callable[[], Any]]:
+    return _sanitizer_factory
+
 #: Priority used for ordinary events.
 NORMAL = 1
 #: Priority for "urgent" bookkeeping events (process resumption).
@@ -301,6 +317,9 @@ class Environment:
         self._heap: List[tuple] = []
         self._seq: int = 0
         self._active: Optional[Process] = None
+        #: LockSan (or compatible) sanitizer; ``None`` unless installed.
+        self.sanitizer: Optional[Any] = (
+            _sanitizer_factory() if _sanitizer_factory is not None else None)
 
     @property
     def now(self) -> float:
@@ -375,10 +394,14 @@ class Environment:
             raise stop._value
 
         deadline = float("inf") if until is None else float(until)
-        if deadline is not None and deadline != float("inf") and deadline < self._now:
+        if deadline < self._now:
             raise SimulationError("run(until) is in the past")
         while self._heap and self._heap[0][0] <= deadline:
             self.step()
         if deadline != float("inf"):
             self._now = deadline
+        if not self._heap and self.sanitizer is not None:
+            # The heap drained: nothing can ever release a held lock
+            # now, so any lock still held has leaked.
+            self.sanitizer.on_run_complete()
         return None

@@ -1,0 +1,41 @@
+"""csar-lint fixture: CSAR003 (non-event-yield)."""
+
+
+def yields_literal(env) -> "Generator[Event, Any, None]":
+    yield env.timeout(1.0)
+    yield 42  # expect: CSAR003
+
+
+def yields_arithmetic(env) -> "Generator[Event, Any, None]":
+    yield 1 + 2  # expect: CSAR003
+
+
+def bare_yield(env) -> "Generator[Event, Any, None]":
+    yield env.timeout(1.0)
+    yield  # expect: CSAR003
+
+
+def yields_tuple(env) -> "Generator[Event, Any, None]":
+    yield (env.timeout(1.0), env.timeout(2.0))  # expect: CSAR003
+
+
+def untyped_but_yields_timeouts(env):
+    yield env.timeout(1.0)
+    yield "done"  # expect: CSAR003
+
+
+def ok_yields_events(env) -> "Generator[Event, Any, None]":
+    yield env.timeout(1.0)
+    value = yield env.event()
+    return value
+
+
+def ok_plain_data_generator(values):
+    # Not a process body: a plain iterator may yield anything.
+    for value in values:
+        yield value * 2
+
+
+def ok_generator_forcing_idiom(env) -> "Generator[Event, Any, None]":
+    raise RuntimeError("unsupported")
+    yield  # unreachable: the standard make-this-a-generator idiom

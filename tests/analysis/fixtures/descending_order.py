@@ -1,0 +1,50 @@
+"""csar-lint fixture: CSAR002 (descending-lock-order).
+
+Both offenders release in a ``finally`` so only the ordering rule
+fires, not CSAR001.
+"""
+
+
+def two_groups_descending(table, env,
+                          xid) -> "Generator[Event, Any, None]":
+    try:
+        yield from table.acquire("f", 5, xid)
+        yield from table.acquire("f", 3, xid)  # expect: CSAR002
+        yield env.timeout(1.0)
+    finally:
+        table.release("f", 3, xid)
+        table.release("f", 5, xid)
+
+
+def loop_over_descending_groups(table, env,
+                                xid) -> "Generator[Event, Any, None]":
+    try:
+        for group in (5, 3):
+            yield from table.acquire("f", group, xid)  # expect: CSAR002
+        yield env.timeout(1.0)
+    finally:
+        for group in (3, 5):
+            table.release("f", group, xid)
+
+
+def two_groups_ascending(table, env,
+                         xid) -> "Generator[Event, Any, None]":
+    try:
+        yield from table.acquire("f", 3, xid)
+        yield from table.acquire("f", 5, xid)
+        yield env.timeout(1.0)
+    finally:
+        table.release("f", 5, xid)
+        table.release("f", 3, xid)
+
+
+def reacquire_after_release_is_fine(table, env,
+                                    xid) -> "Generator[Event, Any, None]":
+    try:
+        yield from table.acquire("f", 5, xid)
+        yield env.timeout(1.0)
+        table.release("f", 5, xid)
+        yield from table.acquire("f", 3, xid)
+        yield env.timeout(1.0)
+    finally:
+        table.release("f", 3, xid)

@@ -1,0 +1,30 @@
+"""csar-lint fixture: CSAR005 (fail-without-defuse)."""
+
+
+def lost_failure(env):
+    ev = env.event()
+    ev.fail(RuntimeError("boom"))  # expect: CSAR005
+
+
+def defused_ok(env):
+    ev = env.event()
+    ev.fail(RuntimeError("boom"))
+    ev.defused()
+
+
+def escapes_by_return_ok(env):
+    ev = env.event()
+    ev.fail(RuntimeError("boom"))
+    return ev
+
+
+def handed_to_waiter_ok(env, watcher):
+    ev = env.event()
+    ev.fail(RuntimeError("boom"))
+    watcher.watch(ev)
+
+
+def stored_on_self_ok(env, state):
+    ev = env.event()
+    ev.fail(RuntimeError("boom"))
+    state.pending = ev

@@ -1,0 +1,27 @@
+"""csar-lint fixture: CSAR004 (wall-clock-in-sim).
+
+Lives under a ``sim/`` path segment so the determinism rule applies.
+"""
+
+import random
+import time
+
+
+def measure(env) -> "Generator[Event, Any, None]":
+    t0 = time.time()  # expect: CSAR004
+    yield env.timeout(1.0)
+    time.sleep(0.1)  # expect: CSAR004
+    return t0
+
+
+def jitter():
+    return random.random()  # expect: CSAR004
+
+
+def pick(items):
+    return random.choice(items)  # expect: CSAR004
+
+
+def seeded_ok(seed):
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,50 @@
+"""csar-lint fixture: CSAR001 (unguarded-acquire).
+
+Never imported — parsed by tests/analysis/test_lint.py, which asserts
+each ``# expect:`` comment matches exactly one finding on that line.
+"""
+
+
+def leak_on_interrupt(table, env, xid) -> "Generator[Event, Any, None]":
+    yield from table.acquire("f", 0, xid)  # expect: CSAR001
+    yield env.timeout(1.0)
+    table.release("f", 0, xid)
+
+
+def unguarded_request(resource, env) -> "Generator[Event, Any, None]":
+    req = resource.request()  # expect: CSAR001
+    yield req
+    yield env.timeout(1.0)
+    resource.release(req)
+
+
+def acquire_and_forget(table, env, xid) -> "Generator[Event, Any, None]":
+    yield from table.acquire("f", 2, xid)  # expect: CSAR001
+    yield env.timeout(1.0)
+
+
+def guarded_with_context_manager(resource,
+                                 env) -> "Generator[Event, Any, None]":
+    with resource.request() as req:
+        yield req
+        yield env.timeout(1.0)
+
+
+def guarded_with_finally(table, env, xid) -> "Generator[Event, Any, None]":
+    yield from table.acquire("f", 0, xid)
+    try:
+        yield env.timeout(1.0)
+    finally:
+        table.release("f", 0, xid)
+
+
+def guarded_with_interrupt_handler(lock,
+                                   env) -> "Generator[Event, Any, None]":
+    request = lock.request()
+    try:
+        yield request
+    except Exception:
+        lock.release(request)
+        raise
+    yield env.timeout(1.0)
+    lock.release(request)

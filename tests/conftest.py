@@ -1,0 +1,51 @@
+"""Test-suite plumbing: optional LockSan sanitization.
+
+Run any part of the suite with ``CSAR_LOCKSAN=1`` to attach the LockSan
+lock-protocol sanitizer (:mod:`repro.analysis.locksan`) to every
+:class:`Environment` the tests create.  An autouse fixture then fails
+any test whose simulations produced sanitizer reports — except tests
+marked ``locksan_expected``, which intentionally violate the protocol.
+"""
+
+import os
+
+import pytest
+
+
+def _locksan_requested() -> bool:
+    return os.environ.get("CSAR_LOCKSAN", "") not in ("", "0")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "locksan_expected: the test intentionally triggers LockSan "
+        "reports; the zero-report check is skipped")
+    if _locksan_requested():
+        from repro.analysis import locksan
+
+        locksan.install()
+
+
+def pytest_unconfigure(config):
+    if _locksan_requested():
+        from repro.analysis import locksan
+
+        locksan.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _locksan_zero_reports(request):
+    """With LockSan installed, assert each test ends report-free."""
+    if not _locksan_requested():
+        yield
+        return
+    from repro.analysis import locksan
+
+    locksan.drain_reports()  # isolate from previous test
+    yield
+    reports = locksan.drain_reports()
+    if reports and request.node.get_closest_marker(
+            "locksan_expected") is None:
+        lines = "\n".join(r.format() for r in reports)
+        pytest.fail(f"LockSan reports:\n{lines}")

@@ -86,6 +86,7 @@ class TestLockTable:
         env.process(proc())
         env.run()
 
+    @pytest.mark.locksan_expected
     def test_release_without_hold_rejected(self, env):
         table = ParityLockTable(env)
         with pytest.raises(LockProtocolError):
@@ -125,3 +126,72 @@ class TestLockTable:
         env.process(writer(2))
         env.run()
         assert sorted(finished) == [1, 2]
+
+    def test_interrupt_while_queued_cancels_request(self, env):
+        # A process interrupted while queued must not leak the lock:
+        # the queued Request is cancelled and later writers still get
+        # the lock (the bug class LockSan's leak check formalizes).
+        from repro.sim.engine import Interrupt
+
+        table = ParityLockTable(env)
+        order = []
+
+        def holder():
+            yield from table.acquire("f", 0, xid=1)
+            yield env.timeout(5.0)
+            table.release("f", 0, xid=1)
+
+        def impatient():
+            try:
+                yield from table.acquire("f", 0, xid=2)
+            except Interrupt:
+                order.append("interrupted")
+                return
+            pytest.fail("expected an interrupt")
+
+        def canceller(victim):
+            yield env.timeout(1.0)
+            victim.interrupt("give up")
+
+        def late_writer():
+            yield env.timeout(2.0)
+            yield from table.acquire("f", 0, xid=3)
+            order.append(("locked", env.now))
+            table.release("f", 0, xid=3)
+
+        env.process(holder())
+        victim = env.process(impatient())
+        env.process(canceller(victim))
+        env.process(late_writer())
+        env.run()
+        # The cancelled request is gone: xid 3 is granted the moment the
+        # holder releases at t=5, not behind a ghost queue entry.
+        assert order == ["interrupted", ("locked", 5.0)]
+        assert not table.is_locked("f", 0)
+        assert table.queue_length("f", 0) == 0
+
+    def test_interrupt_before_acquire_starts_does_not_leak(self, env):
+        from repro.sim.engine import Interrupt
+
+        table = ParityLockTable(env)
+
+        def holder():
+            yield from table.acquire("f", 0, xid=1)
+            yield env.timeout(3.0)
+            table.release("f", 0, xid=1)
+
+        def victim():
+            try:
+                yield from table.acquire("f", 0, xid=2)
+            except Interrupt:
+                pass
+
+        def canceller(proc):
+            yield env.timeout(0.5)
+            proc.interrupt()
+
+        env.process(holder())
+        v = env.process(victim())
+        env.process(canceller(v))
+        env.run()
+        assert not table.is_locked("f", 0)

@@ -65,6 +65,19 @@ class TestTimeouts:
         assert hits == [1, 2, 3]
         assert env.now == 3.5
 
+    def test_run_until_past_time_rejected(self, env):
+        def proc():
+            yield env.timeout(1)
+
+        env.process(proc())
+        env.run(until=5.0)
+        assert env.now == 5.0
+        with pytest.raises(SimulationError, match="in the past"):
+            env.run(until=2.0)
+        # The current instant is a valid (no-op) deadline.
+        env.run(until=5.0)
+        assert env.now == 5.0
+
 
 class TestProcesses:
     def test_process_return_value(self, env):

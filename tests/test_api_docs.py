@@ -20,5 +20,7 @@ def test_api_docs_cover_the_public_surface():
     for symbol in ("class System", "class CSARConfig", "class Payload",
                    "class OverflowTable", "class ParityLockTable",
                    "class MPIFile", "class H5File", "def rebuild_server",
-                   "def online_scrub", "def reclaim_file"):
+                   "def online_scrub", "def reclaim_file",
+                   "class FileLinter", "class LockSan", "class Rule",
+                   "def lint_paths", "def set_sanitizer_factory"):
         assert symbol in text, f"{symbol} missing from docs/API.md"

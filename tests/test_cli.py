@@ -35,6 +35,73 @@ class TestRun:
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_failing_experiment_exits_nonzero(self, capsys, monkeypatch):
+        from repro.experiments.base import REGISTRY, Experiment
+
+        def boom(scale=None):
+            raise RuntimeError("kaput")
+
+        monkeypatch.setitem(
+            REGISTRY, "boom", Experiment("boom", "always fails", boom))
+        assert main(["run", "boom"]) == 1
+        err = capsys.readouterr().err
+        assert "boom" in err and "kaput" in err
+
+    def test_failure_does_not_abort_later_experiments(self, capsys,
+                                                      monkeypatch):
+        from repro.experiments.base import REGISTRY, Experiment
+
+        def boom(scale=None):
+            raise RuntimeError("kaput")
+
+        monkeypatch.setitem(
+            REGISTRY, "boom", Experiment("boom", "always fails", boom))
+        assert main(["run", "boom", "fig1"]) == 1
+        captured = capsys.readouterr()
+        assert "kaput" in captured.err
+        assert "fig1" in captured.out  # later experiment still ran
+
+
+class TestSanitize:
+    @pytest.mark.locksan_expected
+    def test_sanitize_reports_leak_and_fails(self, capsys, monkeypatch):
+        from repro.experiments.base import REGISTRY, Experiment, ExpTable
+
+        def leaky(scale=None):
+            from repro.redundancy.locks import ParityLockTable
+            from repro.sim import Environment
+
+            env = Environment()
+            table = ParityLockTable(env)
+
+            def proc():
+                yield from table.acquire("f", 0, xid=1)
+                yield env.timeout(1.0)
+                # ... and never releases.
+
+            env.process(proc(), name="leaker")
+            env.run()
+            t = ExpTable("leaky", "leaky experiment", ["col"])
+            t.add_row("value")
+            return t
+
+        monkeypatch.setitem(
+            REGISTRY, "leaky", Experiment("leaky", "leaky", leaky))
+        assert main(["run", "leaky", "--sanitize"]) == 1
+        err = capsys.readouterr().err
+        assert "leak" in err
+        assert "leaker" in err
+
+    def test_sanitize_clean_experiment_exits_zero(self, capsys):
+        assert main(["run", "fig2", "--sanitize"]) == 0
+
+    def test_sanitize_restores_prior_factory(self):
+        from repro.sim import engine
+
+        before = engine.sanitizer_factory()
+        main(["run", "fig2", "--sanitize"])
+        assert engine.sanitizer_factory() is before
+
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
