@@ -4,92 +4,33 @@ Unlike the figure benchmarks (one pedantic round each, asserting paper
 shapes), these measure the hot paths of the simulator with real repeated
 rounds: kernel event throughput, parity kernels, extent-map operations,
 and end-to-end simulated-bandwidth per wall-clock second.
+
+The scenario bodies live in :mod:`repro.perf.bench` so that
+``csar-repro bench`` (the perf-trajectory harness behind
+``BENCH_simulator.json``) and this pytest-benchmark suite measure
+exactly the same work.
 """
 
-import numpy as np
-
-from repro import CSARConfig, Payload, System
-from repro.sim import Environment, Resource
-from repro.units import KiB, MiB
-from repro.util.intervals import ExtentMap
-from repro.util.parity import xor_bytes
+from repro.perf import bench
+from repro.units import MiB
 
 
 def test_engine_event_throughput(benchmark):
-    def run_events():
-        env = Environment()
-
-        def ticker():
-            for _ in range(200):
-                yield env.timeout(1.0)
-
-        for _ in range(50):
-            env.process(ticker())
-        env.run()
-        return env.now
-
-    assert benchmark(run_events) == 200.0
+    assert benchmark(bench.engine_events_once) == 200.0
 
 
 def test_resource_contention_throughput(benchmark):
-    def run_contention():
-        env = Environment()
-        res = Resource(env, capacity=2)
-
-        def worker():
-            for _ in range(50):
-                with res.request() as req:
-                    yield req
-                    yield env.timeout(0.1)
-
-        for _ in range(20):
-            env.process(worker())
-        env.run()
-        return res.total_waits
-
-    assert benchmark(run_contention) > 0
+    assert benchmark(bench.resource_contention_once) > 0
 
 
 def test_parity_kernel_throughput(benchmark):
-    blocks = [np.random.default_rng(i).integers(0, 256, 1 * MiB,
-                                                dtype=np.uint8)
-              for i in range(5)]
-
-    result = benchmark(xor_bytes, blocks)
-    assert len(result) == 1 * MiB
+    assert benchmark(bench.parity_kernel_once) == 1 * MiB
 
 
 def test_extent_map_churn(benchmark):
-    def churn():
-        m = ExtentMap()
-        for i in range(2000):
-            base = (i * 7919) % 100_000
-            m.add(base, base + 512)
-            if i % 3 == 0:
-                m.remove(base + 100, base + 200)
-        return m.total()
-
-    assert benchmark(churn) > 0
+    assert benchmark(bench.extent_map_churn_once) > 0
 
 
 def test_end_to_end_simulated_write_throughput(benchmark):
     """Simulated bytes pushed through the full CSAR stack per wall call."""
-
-    def run_stream():
-        system = System(CSARConfig(scheme="hybrid", num_servers=6,
-                                   num_clients=1, stripe_unit=64 * KiB,
-                                   content_mode=False))
-        client = system.client()
-        span = system.layout.group_span
-        chunk = 12 * span
-
-        def work():
-            yield from client.create("f")
-            for i in range(8):
-                yield from client.write("f", i * chunk,
-                                        Payload.virtual(chunk))
-
-        elapsed, _ = system.timed(work())
-        return 8 * chunk / elapsed
-
-    assert benchmark(run_stream) > 0
+    assert benchmark(bench.end_to_end_write_once) > 0

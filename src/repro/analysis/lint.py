@@ -22,6 +22,10 @@ for worked examples):
 * **CSAR005** — ``event.fail(exc)`` on a locally-created event that
   never escapes the function and is never ``defused()`` — the failure
   re-raises at the end of :meth:`Environment.run`.
+* **CSAR006** — an :class:`~repro.util.intervals.Extent` dataclass
+  constructed inside a loop (or comprehension) in a ``hw``/``sim``
+  module: those are the simulator's hot paths, where the tuple-based
+  ``overlap_iter``/``gaps_iter`` variants must be used instead.
 
 Findings can be suppressed per line with a trailing comment::
 
@@ -239,6 +243,8 @@ class FileLinter:
                 self._check_function(node, sim_scoped)
         if sim_scoped:
             self._check_wall_clock(tree)
+        if self._is_hot_scoped():
+            self._check_extent_in_loops(tree)
         self.findings.sort(key=lambda f: (f.line, f.col, f.code))
         return self.findings
 
@@ -246,6 +252,11 @@ class FileLinter:
         """CSAR004 applies only to ``sim``/``redundancy`` modules."""
         parts = os.path.normpath(self.path).split(os.sep)
         return any(part in ("sim", "redundancy") for part in parts)
+
+    def _is_hot_scoped(self) -> bool:
+        """CSAR006 applies only to ``hw``/``sim`` hot-path modules."""
+        parts = os.path.normpath(self.path).split(os.sep)
+        return any(part in ("hw", "sim") for part in parts)
 
     # -- dispatch -------------------------------------------------------
     def _check_function(self, func: ast.FunctionDef,
@@ -454,6 +465,34 @@ class FileLinter:
                     "CSAR004", node,
                     f"{module}.{attr}() in a sim/redundancy module breaks "
                     f"determinism [fix: {RULES['CSAR004'].fixit}]")
+
+    # -- CSAR006 --------------------------------------------------------
+    _LOOPS = (ast.For, ast.While, ast.AsyncFor,
+              ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+    def _check_extent_in_loops(self, tree: ast.Module) -> None:
+        """Flag ``Extent(...)`` construction inside any loop body."""
+        seen: Set[int] = set()  # a call inside nested loops reports once
+        for loop in ast.walk(tree):
+            if not isinstance(loop, self._LOOPS):
+                continue
+            for node in ast.walk(loop):
+                if node is loop or not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = None
+                if isinstance(func, ast.Name):
+                    name = func.id
+                elif isinstance(func, ast.Attribute):
+                    name = func.attr
+                if name != "Extent" or id(node) in seen:
+                    continue
+                seen.add(id(node))
+                self._report(
+                    "CSAR006", node,
+                    "Extent() constructed inside a loop in a hw/sim "
+                    "hot-path module "
+                    f"[fix: {RULES['CSAR006'].fixit}]")
 
     # -- CSAR005 --------------------------------------------------------
     def _check_lost_failures(self, func: ast.FunctionDef,

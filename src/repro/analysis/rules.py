@@ -68,6 +68,16 @@ RULES: Dict[str, Rule] = {
                   "numpy Generator instance for randomness",
         ),
         Rule(
+            code="CSAR006",
+            name="extent-alloc-in-hot-loop",
+            summary="Extent dataclass constructed inside a loop in a "
+                    "hw/sim hot-path module",
+            fixit="use ExtentMap.overlap_iter/gaps_iter/iter_tuples (or "
+                  "plain (start, end) tuples) on hot paths; Extent "
+                  "objects are for the public API and tests — suppress "
+                  "with a comment when the loop is demonstrably cold",
+        ),
+        Rule(
             code="CSAR005",
             name="fail-without-defuse",
             summary="Event.fail() on an event that never escapes and is "

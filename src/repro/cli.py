@@ -6,6 +6,9 @@
     csar-repro run fig3
     csar-repro run fig6a --scale 0.1
     csar-repro run all --scale 0.05 --sanitize
+    csar-repro run all --jobs 4
+    csar-repro profile fig7a
+    csar-repro bench --quick --check
     csar-repro lint src --format=json
 """
 
@@ -29,17 +32,43 @@ def _cmd_list() -> int:
     return 0
 
 
+def _emit_table(exp_id: str, table, wall: float, effective: float,
+                chart: bool, csv_dir: Optional[str],
+                sanitizer_reports: List[str]) -> int:
+    """Print one experiment's results; returns 1 if reports failed it."""
+    status = 0
+    print(table.format())
+    if chart:
+        from repro.util.charts import chart_table
+        print()
+        print(chart_table(table))
+    print(f"(scale {effective:g}, {wall:.1f}s wall)\n")
+    for report in sanitizer_reports:
+        print(f"{exp_id}: {report}", file=sys.stderr)
+        status = 1
+    if csv_dir is not None:
+        import os
+        os.makedirs(csv_dir, exist_ok=True)
+        out_path = os.path.join(csv_dir, f"{exp_id}.csv")
+        with open(out_path, "w") as fp:
+            fp.write(table.to_csv())
+        print(f"wrote {out_path}\n")
+    return status
+
+
 def _cmd_run(ids: List[str], scale: Optional[float],
              csv_dir: Optional[str] = None, chart: bool = False,
-             sanitize: bool = False) -> int:
+             sanitize: bool = False, jobs: int = 1) -> int:
+    if ids == ["all"]:
+        ids = sorted(REGISTRY)
+    if jobs > 1:
+        return _cmd_run_parallel(ids, scale, csv_dir, chart, sanitize, jobs)
     previous_factory = None
     if sanitize:
         from repro.analysis import locksan
         from repro.sim import engine
         previous_factory = engine.sanitizer_factory()
         locksan.install()
-    if ids == ["all"]:
-        ids = sorted(REGISTRY)
     status = 0
     try:
         for exp_id in ids:
@@ -58,29 +87,85 @@ def _cmd_run(ids: List[str], scale: Optional[float],
                 status = 1
                 continue
             wall = time.time() - t0
-            print(table.format())
-            if chart:
-                from repro.util.charts import chart_table
-                print()
-                print(chart_table(table))
-            print(f"(scale {effective:g}, {wall:.1f}s wall)\n")
+            reports: List[str] = []
             if sanitize:
                 from repro.analysis import locksan
-                for report in locksan.drain_reports():
-                    print(f"{exp_id}: {report.format()}", file=sys.stderr)
-                    status = 1
-            if csv_dir is not None:
-                import os
-                os.makedirs(csv_dir, exist_ok=True)
-                out_path = os.path.join(csv_dir, f"{exp_id}.csv")
-                with open(out_path, "w") as fp:
-                    fp.write(table.to_csv())
-                print(f"wrote {out_path}\n")
+                reports = [r.format() for r in locksan.drain_reports()]
+            status |= _emit_table(exp_id, table, wall, effective, chart,
+                                  csv_dir, reports)
     finally:
         if sanitize:
             from repro.sim import engine
             engine.set_sanitizer_factory(previous_factory)
     return status
+
+
+def _cmd_run_parallel(ids: List[str], scale: Optional[float],
+                      csv_dir: Optional[str], chart: bool,
+                      sanitize: bool, jobs: int) -> int:
+    """Fan independent experiments across a process pool (--jobs N)."""
+    from repro.perf.runner import SweepPoint, run_sweep
+
+    points = []
+    for exp_id in ids:
+        try:
+            exp = get_experiment(exp_id)
+        except ConfigError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        effective = exp.default_scale if scale is None else scale
+        points.append(SweepPoint(exp_id=exp_id, scale=effective))
+    status = 0
+    for result in run_sweep(points, jobs=jobs, sanitize=sanitize):
+        exp_id = result.point.exp_id
+        if not result.ok:
+            err = result.error
+            print(f"error: experiment {exp_id} failed: "
+                  f"{type(err).__name__}: {err}", file=sys.stderr)
+            status = 1
+            continue
+        status |= _emit_table(exp_id, result.table, result.wall,
+                              result.point.scale, chart, csv_dir,
+                              result.sanitizer_reports)
+    return status
+
+
+def _cmd_profile(exp_id: str, scale: Optional[float], top: int,
+                 sort: str) -> int:
+    from repro.perf.profiler import profile_experiment
+
+    try:
+        report, _table = profile_experiment(exp_id, scale=scale, top=top,
+                                            sort=sort)
+    except ConfigError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(report)
+    return 0
+
+
+def _cmd_bench(json_path: str, note: str, quick: bool, check: bool,
+               threshold: float) -> int:
+    from repro.perf import bench
+
+    data = bench.load(json_path)
+    baseline = bench.baseline_run(data)
+    results = bench.run_scenarios(repeats=2 if quick else 5)
+    print(bench.format_results(results, baseline))
+    bench.append_run(results, path=json_path, note=note, quick=quick)
+    print(f"\nappended run to {json_path} "
+          f"({len(data['runs']) + 1} runs recorded)")
+    if check and baseline is not None:
+        failures = bench.check_regression(baseline, results, threshold)
+        if failures:
+            for name, base_s, new_s, slowdown in failures:
+                print(f"regression: {name}: {base_s * 1000:.2f} ms -> "
+                      f"{new_s * 1000:.2f} ms "
+                      f"(+{slowdown:.0%} > {threshold:.0%})",
+                      file=sys.stderr)
+            return 1
+        print(f"no regression vs baseline (threshold {threshold:.0%})")
+    return 0
 
 
 def _cmd_lint(paths: List[str], fmt: str, list_rules: bool) -> int:
@@ -128,6 +213,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--sanitize", action="store_true",
                        help="run under the LockSan lock-protocol "
                             "sanitizer; reports fail the run")
+    run_p.add_argument("--jobs", type=int, default=1,
+                       help="run independent experiments across N worker "
+                            "processes (default 1: classic sequential "
+                            "runner; results always print in submission "
+                            "order)")
+    profile_p = sub.add_parser(
+        "profile", help="run one experiment under cProfile with kernel "
+                        "event/dispatch counters")
+    profile_p.add_argument("experiment", help="experiment id (see 'list')")
+    profile_p.add_argument("--scale", type=float, default=None,
+                           help="data-volume scale factor")
+    profile_p.add_argument("--top", type=int, default=20,
+                           help="number of profile rows (default 20)")
+    profile_p.add_argument("--sort", default="cumulative",
+                           help="pstats sort key (default: cumulative)")
+    bench_p = sub.add_parser(
+        "bench", help="run the simulator micro-benchmarks and append "
+                      "results to the perf-trajectory file")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="2 repeats per scenario instead of 5")
+    bench_p.add_argument("--json", default="BENCH_simulator.json",
+                         dest="json_path",
+                         help="trajectory file (default: "
+                              "BENCH_simulator.json)")
+    bench_p.add_argument("--note", default="",
+                         help="free-form label recorded with the run")
+    bench_p.add_argument("--check", action="store_true",
+                         help="exit 1 if any scenario regresses more than "
+                              "--threshold vs the last recorded run")
+    bench_p.add_argument("--threshold", type=float, default=0.30,
+                         help="regression threshold for --check "
+                              "(default 0.30 = 30%%)")
     report_p = sub.add_parser(
         "report", help="run the paper-claim checklist and print verdicts")
     report_p.add_argument("--scale", type=float, default=None,
@@ -152,8 +269,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if ok else 1
     if args.command == "lint":
         return _cmd_lint(args.paths, args.fmt, args.list_rules)
+    if args.command == "profile":
+        return _cmd_profile(args.experiment, args.scale, args.top,
+                            args.sort)
+    if args.command == "bench":
+        return _cmd_bench(args.json_path, args.note, args.quick,
+                          args.check, args.threshold)
     return _cmd_run(args.ids, args.scale, args.csv_dir, args.chart,
-                    args.sanitize)
+                    args.sanitize, args.jobs)
 
 
 if __name__ == "__main__":  # pragma: no cover

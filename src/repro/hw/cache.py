@@ -17,7 +17,9 @@ reproduces the three behaviours the paper's evaluation hinges on:
 
 State is tracked as byte extents per file (not per-page dicts) so
 multi-gigabyte Class C runs stay cheap; an OrderedDict over files provides
-the LRU for eviction.
+the LRU for eviction.  All extent queries on this path use the tuple
+iterators (``overlap_iter``/``gaps_iter``/``overlap_len``) so no
+:class:`~repro.util.intervals.Extent` objects are allocated per block.
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.metrics import Metrics
 from repro.sim.engine import Environment, Event
-from repro.util.intervals import Extent, ExtentMap
+from repro.util.intervals import ExtentMap
 from repro.hw.disk import Disk
 from repro.hw.params import CacheParams
 
@@ -72,14 +74,14 @@ class PageCache:
 
     def _cover(self, entry: _FileEntry, start: int, end: int) -> int:
         """Add ``[start, end)`` to the cached set; returns new bytes."""
-        already = sum(e.length for e in entry.cached.overlap(start, end))
+        already = entry.cached.overlap_len(start, end)
         entry.cached.add(start, end)
         added = (end - start) - already
         self.usage += added
         return added
 
     def _mark_dirty(self, entry: _FileEntry, start: int, end: int) -> None:
-        already = sum(e.length for e in entry.dirty.overlap(start, end))
+        already = entry.dirty.overlap_len(start, end)
         entry.dirty.add(start, end)
         self.dirty_bytes += (end - start) - already
 
@@ -105,24 +107,22 @@ class PageCache:
             return
         entry = self._entry(file_id)
         bs = self.params.block_size
-        hit = sum(e.length for e in entry.cached.overlap(start, end))
-        missing: List[Extent] = []
-        for gap in entry.cached.gaps(start, end):
-            missing.extend(
-                Extent(g.start, g.end)
-                for g in allocated.overlap(gap.start, gap.end))
+        hit = entry.cached.overlap_len(start, end)
+        missing: List[Tuple[int, int]] = []
+        for gap_start, gap_end in entry.cached.gaps_iter(start, end):
+            missing.extend(allocated.overlap_iter(gap_start, gap_end))
         if self.metrics is not None:
             self.metrics.add("cache.hit_bytes", hit)
             self.metrics.add("cache.miss_bytes",
-                             sum(m.length for m in missing))
-        for miss in missing:
+                             sum(e - s for s, e in missing))
+        for miss_start, miss_end in missing:
             # Page-align the disk read, extend to the readahead window,
             # clip to allocation.
-            lo = (miss.start // bs) * bs
-            hi = -(-miss.end // bs) * bs
+            lo = (miss_start // bs) * bs
+            hi = -(-miss_end // bs) * bs
             if hi - lo < self.params.readahead:
                 hi = lo + self.params.readahead
-            hi = min(hi, max(allocated.max_end(), miss.end))
+            hi = min(hi, max(allocated.max_end(), miss_end))
             offset = lo
             while offset < hi:
                 step = min(MAX_IO, hi - offset)
@@ -164,13 +164,13 @@ class PageCache:
                 continue
             seen.add(block_lo)
             block_hi = block_lo + bs
-            old = allocated.overlap(block_lo, block_hi)
+            old = list(allocated.overlap_iter(block_lo, block_hi))
             if not old:
                 continue  # no old data: allocator just zero-fills
             # Resident when every *allocated* byte of the block is cached
             # (holes within the block need no read).
-            if all(entry.cached.contains(piece.start, piece.end)
-                   for piece in old):
+            if all(entry.cached.contains(piece_start, piece_end)
+                   for piece_start, piece_end in old):
                 continue
             penalty_blocks.append((block_lo, block_hi))
         for block_lo, block_hi in penalty_blocks:
@@ -192,11 +192,11 @@ class PageCache:
     # ------------------------------------------------------------------
     # writeback / eviction
     # ------------------------------------------------------------------
-    def _pick_dirty(self) -> Optional[Tuple[object, Extent]]:
+    def _pick_dirty(self) -> Optional[Tuple[object, int, int]]:
         """Oldest file's lowest dirty extent (elevator-ish order)."""
         for file_id, entry in self._files.items():
-            for ext in entry.dirty:
-                return file_id, ext
+            for ext_start, ext_end in entry.dirty.iter_tuples():
+                return file_id, ext_start, ext_end
         return None
 
     def _writeback_some(self, target_bytes: int) -> Generator[Event, Any, int]:
@@ -206,15 +206,15 @@ class PageCache:
             pick = self._pick_dirty()
             if pick is None:
                 break
-            file_id, ext = pick
+            file_id, ext_start, ext_end = pick
             entry = self._files[file_id]
-            length = min(ext.length, MAX_IO)
+            length = min(ext_end - ext_start, MAX_IO)
             # Claim the extent *before* the disk write so concurrent
             # flushers (fsync handlers, the background daemon, throttled
             # writers) never write the same bytes twice.
-            entry.dirty.remove(ext.start, ext.start + length)
+            entry.dirty.remove(ext_start, ext_start + length)
             self.dirty_bytes -= length
-            yield from self.disk.write(file_id, ext.start, length)
+            yield from self.disk.write(file_id, ext_start, length)
             flushed += length
             if self.metrics is not None:
                 self.metrics.add("cache.writeback_bytes", length)
@@ -241,10 +241,11 @@ class PageCache:
                 if file_id == exclude and len(self._files) > 1:
                     continue
                 entry = self._files[file_id]
-                for ext in list(entry.cached):
-                    for clean in entry.dirty.gaps(ext.start, ext.end):
-                        length = clean.length
-                        entry.cached.remove(clean.start, clean.end)
+                for ext_start, ext_end in list(entry.cached.iter_tuples()):
+                    for clean_start, clean_end in list(
+                            entry.dirty.gaps_iter(ext_start, ext_end)):
+                        length = clean_end - clean_start
+                        entry.cached.remove(clean_start, clean_end)
                         self.usage -= length
                         if self.metrics is not None:
                             self.metrics.add("cache.evicted_bytes", length)
@@ -268,12 +269,12 @@ class PageCache:
         if entry is None:
             return
         while entry.dirty:
-            ext = next(iter(entry.dirty))
-            length = min(ext.length, MAX_IO)
+            ext_start, ext_end = next(entry.dirty.iter_tuples())
+            length = min(ext_end - ext_start, MAX_IO)
             # Claim before writing (see _writeback_some).
-            entry.dirty.remove(ext.start, ext.start + length)
+            entry.dirty.remove(ext_start, ext_start + length)
             self.dirty_bytes -= length
-            yield from self.disk.write(file_id, ext.start, length)
+            yield from self.disk.write(file_id, ext_start, length)
             if self.metrics is not None:
                 self.metrics.add("cache.writeback_bytes", length)
 

@@ -1,0 +1,24 @@
+"""Performance layer: parallel sweeps, profiling, and the bench harness.
+
+Three pieces, all riding on the deterministic event kernel:
+
+* :mod:`repro.perf.runner` — fan independent experiment sweep points
+  across a process pool (``csar-repro run --jobs N``) with deterministic
+  result ordering and merged kernel counters;
+* :mod:`repro.perf.profiler` — ``csar-repro profile``: cProfile plus the
+  kernel's free event/dispatch counters, per environment;
+* :mod:`repro.perf.bench` — ``csar-repro bench``: the simulator's own
+  micro-benchmarks, appended to ``BENCH_simulator.json`` to seed the
+  repo's perf trajectory.
+"""
+
+from repro.perf.runner import (SweepPoint, SweepPointError, SweepResult,
+                               merge_counters, run_sweep)
+
+__all__ = [
+    "SweepPoint",
+    "SweepPointError",
+    "SweepResult",
+    "merge_counters",
+    "run_sweep",
+]

@@ -1,0 +1,247 @@
+"""``csar-repro bench``: the simulator's own perf-trajectory harness.
+
+The scenario bodies here are the single source of truth for simulator
+micro-benchmarks: ``benchmarks/test_simulator_perf.py`` wraps the same
+callables under pytest-benchmark, and ``csar-repro bench`` times them
+with a plain best-of-N :func:`time.perf_counter` loop and appends
+machine-readable results to ``BENCH_simulator.json`` so every PR can
+record before/after numbers (see ``docs/PERF.md``).
+
+``--check`` compares the fresh numbers against the last committed run
+and fails on a >30% wall-clock regression in any scenario — the CI
+guard against quietly losing the kernel fast paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default location of the perf-trajectory log, relative to the cwd.
+DEFAULT_JSON = "BENCH_simulator.json"
+#: ``--check`` failure threshold: fractional slowdown vs the baseline.
+DEFAULT_THRESHOLD = 0.30
+
+
+# ----------------------------------------------------------------------
+# scenario bodies (shared with benchmarks/test_simulator_perf.py)
+# ----------------------------------------------------------------------
+def engine_events_once() -> float:
+    """50 processes x 200 timeouts through the bare kernel."""
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def ticker():
+        for _ in range(200):
+            yield env.timeout(1.0)
+
+    for _ in range(50):
+        env.process(ticker())
+    env.run()
+    return env.now
+
+
+def resource_contention_once() -> int:
+    """20 workers hammering a capacity-2 FIFO resource."""
+    from repro.sim import Environment, Resource
+
+    env = Environment()
+    res = Resource(env, capacity=2)
+
+    def worker():
+        for _ in range(50):
+            with res.request() as req:
+                yield req
+                yield env.timeout(0.1)
+
+    for _ in range(20):
+        env.process(worker())
+    env.run()
+    return res.total_waits
+
+
+def parity_kernel_once() -> int:
+    """XOR five 1 MiB blocks (the RAID5 parity kernel)."""
+    import numpy as np
+
+    from repro.units import MiB
+    from repro.util.parity import xor_bytes
+
+    blocks = [np.random.default_rng(i).integers(0, 256, 1 * MiB,
+                                                dtype=np.uint8)
+              for i in range(5)]
+    return len(xor_bytes(blocks))
+
+
+def extent_map_churn_once() -> int:
+    """2000 scattered adds (plus removes) against one ExtentMap."""
+    from repro.util.intervals import ExtentMap
+
+    m = ExtentMap()
+    for i in range(2000):
+        base = (i * 7919) % 100_000
+        m.add(base, base + 512)
+        if i % 3 == 0:
+            m.remove(base + 100, base + 200)
+    return m.total()
+
+
+def end_to_end_write_once() -> float:
+    """Simulated bytes/second through the full CSAR hybrid stack."""
+    from repro import CSARConfig, Payload, System
+    from repro.units import KiB
+
+    system = System(CSARConfig(scheme="hybrid", num_servers=6,
+                               num_clients=1, stripe_unit=64 * KiB,
+                               content_mode=False))
+    client = system.client()
+    span = system.layout.group_span
+    chunk = 12 * span
+
+    def work():
+        yield from client.create("f")
+        for i in range(8):
+            yield from client.write("f", i * chunk, Payload.virtual(chunk))
+
+    elapsed, _ = system.timed(work())
+    return 8 * chunk / elapsed
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One benchmark: a callable plus an optional operation count."""
+
+    name: str
+    func: Callable[[], object]
+    description: str
+    #: Operations per call for ops/sec reporting (None = seconds only).
+    ops: Optional[int] = None
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s for s in (
+        Scenario("engine_event_throughput", engine_events_once,
+                 "bare kernel: 50 processes x 200 timeouts",
+                 ops=50 * 200),
+        Scenario("resource_contention", resource_contention_once,
+                 "20 workers on a capacity-2 FIFO resource",
+                 ops=20 * 50),
+        Scenario("parity_kernel", parity_kernel_once,
+                 "XOR of five 1 MiB blocks", ops=5 * (1 << 20)),
+        Scenario("extent_map_churn", extent_map_churn_once,
+                 "2000 scattered ExtentMap adds/removes", ops=2000),
+        Scenario("end_to_end_write", end_to_end_write_once,
+                 "full hybrid-stack streaming write (extent mode)"),
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+def run_scenarios(names: Optional[Sequence[str]] = None,
+                  repeats: int = 5) -> Dict[str, Dict[str, float]]:
+    """Best-of-``repeats`` wall time per scenario (one warm-up call)."""
+    selected = list(names) if names else list(SCENARIOS)
+    results: Dict[str, Dict[str, float]] = {}
+    for name in selected:
+        scenario = SCENARIOS[name]
+        scenario.func()  # warm-up: imports, allocator, caches
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            scenario.func()
+            elapsed = time.perf_counter() - t0
+            if elapsed < best:
+                best = elapsed
+        entry: Dict[str, float] = {"seconds": best}
+        if scenario.ops is not None:
+            entry["ops"] = float(scenario.ops)
+            entry["ops_per_sec"] = scenario.ops / best if best > 0 else 0.0
+        results[name] = entry
+    return results
+
+
+# ----------------------------------------------------------------------
+# the JSON trajectory file
+# ----------------------------------------------------------------------
+def load(path: str = DEFAULT_JSON) -> Dict:
+    if not os.path.exists(path):
+        return {"schema": 1, "runs": []}
+    with open(path, "r", encoding="utf-8") as fp:
+        data = json.load(fp)
+    data.setdefault("schema", 1)
+    data.setdefault("runs", [])
+    return data
+
+
+def append_run(results: Dict[str, Dict[str, float]],
+               path: str = DEFAULT_JSON, note: str = "",
+               quick: bool = False) -> Dict:
+    """Append one run entry to the trajectory file; returns the entry."""
+    data = load(path)
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "note": note,
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": results,
+    }
+    data["runs"].append(entry)
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(data, fp, indent=2)
+        fp.write("\n")
+    return entry
+
+
+def baseline_run(data: Dict) -> Optional[Dict]:
+    """The run new numbers are compared against: the last recorded one."""
+    runs = data.get("runs", [])
+    return runs[-1] if runs else None
+
+
+def check_regression(baseline: Dict,
+                     results: Dict[str, Dict[str, float]],
+                     threshold: float = DEFAULT_THRESHOLD,
+                     ) -> List[Tuple[str, float, float, float]]:
+    """Scenarios slower than ``baseline`` by more than ``threshold``.
+
+    Returns ``(name, baseline_seconds, new_seconds, slowdown)`` tuples,
+    where slowdown 0.35 means 35% slower.
+    """
+    failures: List[Tuple[str, float, float, float]] = []
+    base_results = baseline.get("results", {})
+    for name, entry in results.items():
+        base = base_results.get(name)
+        if base is None or base.get("seconds", 0) <= 0:
+            continue
+        slowdown = entry["seconds"] / base["seconds"] - 1.0
+        if slowdown > threshold:
+            failures.append((name, base["seconds"], entry["seconds"],
+                             slowdown))
+    return failures
+
+
+def format_results(results: Dict[str, Dict[str, float]],
+                   baseline: Optional[Dict] = None) -> str:
+    """Human-readable rendering, with deltas vs a baseline run if any."""
+    lines = []
+    base_results = (baseline or {}).get("results", {})
+    width = max(len(n) for n in results)
+    for name, entry in results.items():
+        line = f"{name.ljust(width)}  {entry['seconds'] * 1000:8.2f} ms"
+        if "ops_per_sec" in entry:
+            line += f"  ({entry['ops_per_sec']:,.0f} ops/s)"
+        base = base_results.get(name)
+        if base and base.get("seconds", 0) > 0:
+            delta = entry["seconds"] / base["seconds"] - 1.0
+            line += f"  [{delta:+.1%} vs baseline]"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""``csar-repro profile``: cProfile one experiment plus kernel counters.
+
+Wraps an experiment run in :mod:`cProfile` and, through the engine's
+environment-observer hook, collects the free scheduling/dispatch
+counters of every :class:`~repro.sim.engine.Environment` the experiment
+creates (one per simulated system/phase).  The counters cost nothing in
+the kernel — ``scheduled`` is the heap sequence number the engine keeps
+anyway and ``dispatched`` is derived from it — so profiling answers both
+"where does the wall clock go?" and "how many events did that cost?".
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import List, Optional, Tuple
+
+from repro.experiments import ExpTable, get_experiment
+from repro.sim import engine
+
+
+def profile_experiment(exp_id: str, scale: Optional[float] = None,
+                       top: int = 20,
+                       sort: str = "cumulative") -> Tuple[str, ExpTable]:
+    """Run one experiment under cProfile; returns (report text, table)."""
+    exp = get_experiment(exp_id)
+    effective = exp.default_scale if scale is None else scale
+
+    envs: List[engine.Environment] = []
+    previous = engine.env_observer()
+
+    def observer(env: engine.Environment) -> None:
+        envs.append(env)
+        if previous is not None:
+            previous(env)
+
+    engine.set_env_observer(observer)
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        try:
+            table = exp.run(scale=effective)
+        finally:
+            profiler.disable()
+    finally:
+        engine.set_env_observer(previous)
+
+    lines = [f"== profile: {exp_id} (scale {effective:g}) ==", ""]
+    lines.append("-- kernel counters (one environment per simulated "
+                 "system/phase) --")
+    total_scheduled = total_dispatched = 0
+    for i, env in enumerate(envs):
+        stats = env.stats()
+        total_scheduled += stats["scheduled"]
+        total_dispatched += stats["dispatched"]
+        lines.append(
+            f"env#{i}: scheduled={stats['scheduled']} "
+            f"dispatched={stats['dispatched']} "
+            f"pending={stats['pending']} sim_time={stats['now']:.3f}s")
+    lines.append(f"total: environments={len(envs)} "
+                 f"scheduled={total_scheduled} "
+                 f"dispatched={total_dispatched}")
+    lines.append("")
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    lines.append(f"-- cProfile (top {top} by {sort}) --")
+    lines.append(buffer.getvalue().rstrip())
+    return "\n".join(lines), table

@@ -37,6 +37,9 @@ class ParityLockTable:
         self.acquisitions = 0
         self.contended_acquisitions = 0
         self.total_wait_time = 0.0
+        # The sanitizer is fixed for the environment's lifetime; bind it
+        # once so unsanitized acquires/releases never consult the hooks.
+        self._san = env.sanitizer
 
     def _lock(self, file: str, group: int) -> FifoLock:
         key = (file, group)
@@ -44,9 +47,8 @@ class ParityLockTable:
         if lock is None:
             lock = FifoLock(self.env)
             self._locks[key] = lock
-            san = self.env.sanitizer
-            if san is not None:
-                san.label_lock(lock, file, group)
+            if self._san is not None:
+                self._san.label_lock(lock, file, group)
         return lock
 
     def _proc_name(self) -> str:
@@ -66,7 +68,7 @@ class ParityLockTable:
         lock = self._lock(file, group)
         contended = lock.locked
         t0 = self.env.now
-        san = self.env.sanitizer
+        san = self._san
         request = lock.request()
         try:
             if san is not None and not request.triggered:
@@ -92,16 +94,15 @@ class ParityLockTable:
         """Release after the parity write; no-op when locking is off."""
         if not self.enabled:
             return
+        san = self._san
         request = self._held.pop((file, group, xid), None)
         if request is None:
-            san = self.env.sanitizer
             if san is not None:
                 san.on_double_release(file, group, xid, self._proc_name())
             raise LockProtocolError(
                 f"xid {xid} released parity lock {file}:{group} "
                 "it does not hold")
         request.resource.release(request)
-        san = self.env.sanitizer
         if san is not None:
             san.on_released(file, group, xid)
 

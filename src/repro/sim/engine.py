@@ -19,12 +19,34 @@ Failed events whose failure is never observed (no callbacks, never yielded
 on) raise at the end of :meth:`Environment.run`, so lost errors in server
 processes cannot silently vanish — important when simulating failure
 injection.
+
+Hot-path notes
+--------------
+Every simulated byte of every figure funnels through this module, so the
+scheduling and dispatch paths trade a little repetition for constant
+factors:
+
+* ``_schedule`` is inlined at its call sites (``succeed``/``fail``,
+  :class:`Timeout`, process resumption) — one attribute walk and a
+  ``heappush`` instead of a method call per event.
+* The dispatch loops in :meth:`Environment.run` inline :meth:`Environment.step`
+  and skip the callback loop entirely for callback-less events (the
+  :class:`Timeout` fast lane).
+* :meth:`Process._resume_interrupt` detaches from the awaited event by
+  tombstoning its recorded callback slot (``callbacks[i] = None``) in
+  O(1) instead of an O(n) ``list.remove`` scan; callback lists are
+  append-only everywhere else, so recorded indices stay valid.
+* Scheduling/dispatch counters cost nothing: ``_seq`` already counts
+  scheduled events and the dispatched count is ``_seq - len(_heap)``
+  (see :meth:`Environment.stats`), which is what ``csar-repro profile``
+  reports.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from heapq import heappush
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 from repro.errors import SimulationError
 
@@ -43,6 +65,23 @@ def set_sanitizer_factory(factory: Optional[Callable[[], Any]]) -> None:
 
 def sanitizer_factory() -> Optional[Callable[[], Any]]:
     return _sanitizer_factory
+
+
+#: Optional callback invoked with every new :class:`Environment`; used by
+#: ``csar-repro profile`` to aggregate kernel counters across the
+#: environments an experiment creates.  Costs one ``None``-check per
+#: Environment construction (never per event).
+_env_observer: Optional[Callable[["Environment"], None]] = None
+
+
+def set_env_observer(observer: Optional[Callable[["Environment"], None]]) -> None:
+    """Install (or, with ``None``, remove) the environment observer."""
+    global _env_observer
+    _env_observer = observer
+
+
+def env_observer() -> Optional[Callable[["Environment"], None]]:
+    return _env_observer
 
 #: Priority used for ordinary events.
 NORMAL = 1
@@ -101,21 +140,25 @@ class Event:
 
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now, NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() needs an exception instance")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now, NORMAL, seq, self))
         return self
 
     def defused(self) -> None:
@@ -130,18 +173,27 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` after creation."""
+    """An event that fires ``delay`` after creation.
+
+    Construction is the single hottest allocation in the simulator, so the
+    ``Event.__init__`` chain and ``_schedule`` are inlined; a Timeout is
+    born triggered, and when nothing ever waits on it the dispatch loop
+    skips its (empty) callback list entirely.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now + delay, NORMAL, seq, self))
 
 
 class Initialize(Event):
@@ -150,17 +202,19 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
+        self.env = env
         self.callbacks = [process._resume]
-        self._ok = True
         self._value = None
-        env._schedule(self, URGENT)
+        self._ok = True
+        self._defused = False
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now, URGENT, seq, self))
 
 
 class Process(Event):
     """A running generator; also an event that fires on termination."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_target_index", "name")
 
     def __init__(self, env: "Environment",
                  generator: Generator[Event, Any, Any],
@@ -170,6 +224,7 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        self._target_index: int = -1
         self.name = name or getattr(generator, "__name__", "process")
         Initialize(env, self)
 
@@ -188,62 +243,78 @@ class Process(Event):
         event._value = Interrupt(cause)
         event._defused = True
         event.callbacks = [self._resume_interrupt]
-        self.env._schedule(event, URGENT)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now, URGENT, seq, event))
 
     # -- internal ---------------------------------------------------------
     def _resume_interrupt(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return  # terminated before the interrupt was delivered
-        # Detach from whatever we were waiting on.
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        # Detach from whatever we were waiting on.  Callback lists are
+        # append-only, so the index recorded when we subscribed is still
+        # ours: tombstone it in O(1) (the dispatch loop skips None).
+        target = self._target
+        if target is not None:
+            callbacks = target.callbacks
+            if callbacks is not None:
+                i = self._target_index
+                if 0 <= i < len(callbacks) and callbacks[i] is self._resume:
+                    callbacks[i] = None
+                else:  # pragma: no cover - defensive
+                    try:
+                        callbacks.remove(self._resume)
+                    except ValueError:
+                        pass
         self._target = None
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
-        self.env._active = self
+        env = self.env
+        env._active = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_target = self._generator.send(event._value)
+                    next_target = generator.send(event._value)
                 else:
                     event._defused = True
-                    next_target = self._generator.throw(event._value)
+                    next_target = generator.throw(event._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.env._schedule(self, NORMAL)
+                env._seq = seq = env._seq + 1
+                heappush(env._heap, (env._now, NORMAL, seq, self))
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self, NORMAL)
+                env._seq = seq = env._seq + 1
+                heappush(env._heap, (env._now, NORMAL, seq, self))
                 break
 
             if not isinstance(next_target, Event):
-                self._generator.close()
+                generator.close()
                 self._ok = False
                 self._value = SimulationError(
                     f"process {self.name!r} yielded {next_target!r}, "
                     "which is not an Event")
-                self.env._schedule(self, NORMAL)
+                env._seq = seq = env._seq + 1
+                heappush(env._heap, (env._now, NORMAL, seq, self))
                 break
-            if next_target.env is not self.env:
+            if next_target.env is not env:
                 raise SimulationError("event from a different environment")
 
-            if next_target.processed:
+            callbacks = next_target.callbacks
+            if callbacks is None:
                 # Already done: resume immediately with its value.
                 event = next_target
                 continue
-            if next_target.callbacks is None:  # pragma: no cover - defensive
-                raise SimulationError("cannot wait on a processed event")
-            next_target.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._target = next_target
+            self._target_index = len(callbacks) - 1
             break
-        self.env._active = None
+        env._active = None
 
 
 class Condition(Event):
@@ -320,6 +391,8 @@ class Environment:
         #: LockSan (or compatible) sanitizer; ``None`` unless installed.
         self.sanitizer: Optional[Any] = (
             _sanitizer_factory() if _sanitizer_factory is not None else None)
+        if _env_observer is not None:
+            _env_observer(self)
 
     @property
     def now(self) -> float:
@@ -355,15 +428,33 @@ class Environment:
         """Time of the next event, or ``inf`` when the heap is empty."""
         return self._heap[0][0] if self._heap else float("inf")
 
+    def stats(self) -> Dict[str, float]:
+        """Kernel counters, derived for free from existing state.
+
+        ``scheduled`` is the monotone scheduling counter, ``dispatched``
+        the number of events already popped and delivered (every heap
+        entry comes from exactly one schedule), ``pending`` the heap
+        backlog.
+        """
+        return {
+            "now": self._now,
+            "scheduled": self._seq,
+            "dispatched": self._seq - len(self._heap),
+            "pending": len(self._heap),
+        }
+
     def step(self) -> None:
         """Process exactly one event."""
         if not self._heap:
             raise SimulationError("nothing to step")
         when, _prio, _seq, event = heapq.heappop(self._heap)
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                if callback is not None:  # skip interrupt tombstones
+                    callback(event)
         if not event._ok and not event._defused:
             raise event._value
 
@@ -371,19 +462,34 @@ class Environment:
         """Run until the heap drains, a deadline passes, or an event fires.
 
         With an :class:`Event` deadline, returns the event's value.
+
+        Both loops inline :meth:`step` (identical dispatch semantics):
+        at millions of events per figure the method call and the callback
+        loop for callback-less timeouts are the dominant constant costs.
         """
+        heap = self._heap
+        pop = heapq.heappop
         if isinstance(until, Event):
             stop = until
-            if stop.processed:
+            if stop.callbacks is None:  # already processed
                 if stop._ok:
                     return stop._value
                 stop._defused = True
                 raise stop._value
-            flag = {"done": False}
-            stop.callbacks.append(lambda _ev: flag.__setitem__("done", True))
-            while self._heap and not flag["done"]:
-                self.step()
-            if not flag["done"]:
+            done: List[Event] = []
+            stop.callbacks.append(done.append)
+            while heap and not done:
+                when, _prio, _seq, event = pop(heap)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        if callback is not None:
+                            callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            if not done:
                 raise SimulationError(
                     "simulation ended before the awaited event triggered "
                     "(deadlock: a process is waiting on something that can "
@@ -396,11 +502,20 @@ class Environment:
         deadline = float("inf") if until is None else float(until)
         if deadline < self._now:
             raise SimulationError("run(until) is in the past")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        while heap and heap[0][0] <= deadline:
+            when, _prio, _seq, event = pop(heap)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                for callback in callbacks:
+                    if callback is not None:
+                        callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
         if deadline != float("inf"):
             self._now = deadline
-        if not self._heap and self.sanitizer is not None:
+        if not heap and self.sanitizer is not None:
             # The heap drained: nothing can ever release a held lock
             # now, so any lock still held has leaked.
             self.sanitizer.on_run_complete()

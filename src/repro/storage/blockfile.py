@@ -78,8 +78,8 @@ class BlockFile:
         if avail > offset:
             out[: avail - offset] = self._buf[offset:avail]
         # Mask out holes so stale buffer growth never leaks.
-        for gap in self.allocated.gaps(offset, end):
-            out[gap.start - offset: gap.end - offset] = 0
+        for gap_start, gap_end in self.allocated.gaps_iter(offset, end):
+            out[gap_start - offset: gap_end - offset] = 0
         return Payload(length, out)
 
     def punch_hole(self, offset: int, length: int) -> None:

@@ -124,6 +124,14 @@ class ExtentMap:
         for start, end in zip(self._starts, self._ends):
             yield Extent(start, end)
 
+    def iter_tuples(self) -> Iterator[Tuple[int, int]]:
+        """All intervals as ``(start, end)`` tuples, in order.
+
+        The allocation-free counterpart of ``__iter__`` for hot paths
+        (no :class:`Extent` dataclass per interval).
+        """
+        return zip(self._starts, self._ends)
+
     def __bool__(self) -> bool:
         return bool(self._starts)
 
@@ -154,31 +162,56 @@ class ExtentMap:
         i = bisect_right(self._starts, offset) - 1
         return i >= 0 and self._ends[i] > offset
 
+    def overlap_iter(self, start: int, end: int) -> Iterator[Tuple[int, int]]:
+        """Covered sub-ranges of ``[start, end)`` as ``(s, e)`` tuples.
+
+        The batched, allocation-free form of :meth:`overlap`: one bisect
+        up front, then a plain index walk — no list and no
+        :class:`Extent` objects, which is what keeps extent-mode Class C
+        runs cheap.
+        """
+        if end <= start:
+            return
+        starts = self._starts
+        ends = self._ends
+        n = len(starts)
+        i = bisect_right(ends, start)
+        while i < n and starts[i] < end:
+            s = starts[i]
+            if s < start:
+                s = start
+            e = ends[i]
+            if e > end:
+                e = end
+            if e > s:
+                yield (s, e)
+            i += 1
+
+    def gaps_iter(self, start: int, end: int) -> Iterator[Tuple[int, int]]:
+        """Uncovered sub-ranges of ``[start, end)`` as ``(s, e)`` tuples."""
+        cursor = start
+        for s, e in self.overlap_iter(start, end):
+            if s > cursor:
+                yield (cursor, s)
+            cursor = e
+        if cursor < end:
+            yield (cursor, end)
+
+    def overlap_len(self, start: int, end: int) -> int:
+        """Total covered bytes in ``[start, end)`` without materializing
+        anything — the hot query of the page cache's bookkeeping."""
+        total = 0
+        for s, e in self.overlap_iter(start, end):
+            total += e - s
+        return total
+
     def overlap(self, start: int, end: int) -> List[Extent]:
         """Covered sub-ranges of ``[start, end)``, in order."""
-        result: List[Extent] = []
-        if end <= start:
-            return result
-        i = max(bisect_right(self._ends, start), 0)
-        while i < len(self._starts) and self._starts[i] < end:
-            s = max(self._starts[i], start)
-            e = min(self._ends[i], end)
-            if e > s:
-                result.append(Extent(s, e))
-            i += 1
-        return result
+        return [Extent(s, e) for s, e in self.overlap_iter(start, end)]
 
     def gaps(self, start: int, end: int) -> List[Extent]:
         """Uncovered sub-ranges of ``[start, end)``, in order."""
-        result: List[Extent] = []
-        cursor = start
-        for ext in self.overlap(start, end):
-            if ext.start > cursor:
-                result.append(Extent(cursor, ext.start))
-            cursor = ext.end
-        if cursor < end:
-            result.append(Extent(cursor, end))
-        return result
+        return [Extent(s, e) for s, e in self.gaps_iter(start, end)]
 
     def copy(self) -> "ExtentMap":
         dup = ExtentMap()

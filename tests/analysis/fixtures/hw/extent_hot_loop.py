@@ -1,0 +1,47 @@
+"""csar-lint fixture: CSAR006 (extent-alloc-in-hot-loop).
+
+Lives under a ``hw/`` path segment so the hot-path allocation rule
+applies.
+"""
+
+from repro.util.intervals import Extent, ExtentMap
+
+
+def per_block_extents(blocks):
+    out = []
+    for lo, hi in blocks:
+        out.append(Extent(lo, hi))  # expect: CSAR006
+    return out
+
+
+def comprehension_extents(blocks):
+    return [Extent(lo, hi) for lo, hi in blocks]  # expect: CSAR006
+
+
+def nested_loops(rows):
+    out = []
+    for row in rows:
+        while row:
+            lo, hi = row.pop()
+            out.append(Extent(lo, hi))  # expect: CSAR006
+    return out
+
+
+def single_extent_is_fine(lo, hi):
+    # Constructed once, outside any loop: not a hot-path allocation.
+    return Extent(lo, hi)
+
+
+def cold_loop_suppressed(blocks):
+    out = []
+    for lo, hi in blocks:
+        # Startup-only configuration parsing; runs once per system.
+        out.append(Extent(lo, hi))  # csar-lint: disable=CSAR006
+    return out
+
+
+def tuple_walk_is_fine(extmap: ExtentMap, start: int, end: int) -> int:
+    total = 0
+    for s, e in extmap.overlap_iter(start, end):
+        total += e - s
+    return total

@@ -1,0 +1,91 @@
+"""The bench harness (repro.perf.bench) and its trajectory file."""
+
+import json
+
+import pytest
+
+from repro.perf import bench
+
+
+class TestScenarios:
+    def test_registry_matches_pytest_benchmarks(self):
+        # The pytest-benchmark suite wraps the same callables; keep the
+        # two views of "the simulator's perf" in sync.
+        assert set(bench.SCENARIOS) == {
+            "engine_event_throughput", "resource_contention",
+            "parity_kernel", "extent_map_churn", "end_to_end_write"}
+
+    def test_engine_scenario_runs_to_completion(self):
+        assert bench.engine_events_once() == 200.0
+
+    def test_extent_churn_scenario_is_deterministic(self):
+        assert bench.extent_map_churn_once() == bench.extent_map_churn_once()
+
+    def test_run_scenarios_subset(self):
+        results = bench.run_scenarios(["extent_map_churn"], repeats=1)
+        assert set(results) == {"extent_map_churn"}
+        entry = results["extent_map_churn"]
+        assert entry["seconds"] > 0
+        assert entry["ops_per_sec"] > 0
+
+
+class TestTrajectoryFile:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        results = {"extent_map_churn": {"seconds": 0.002}}
+        bench.append_run(results, path=path, note="first", quick=True)
+        bench.append_run(results, path=path, note="second")
+        data = bench.load(path)
+        assert data["schema"] == 1
+        assert [run["note"] for run in data["runs"]] == ["first", "second"]
+        assert data["runs"][0]["quick"] is True
+        assert data["runs"][1]["quick"] is False
+        # File is plain JSON (machine-readable for CI artifacts).
+        with open(path) as fp:
+            assert json.load(fp)["runs"][1]["results"] == results
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        data = bench.load(str(tmp_path / "absent.json"))
+        assert data == {"schema": 1, "runs": []}
+
+    def test_baseline_is_last_run(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        assert bench.baseline_run(bench.load(path)) is None
+        bench.append_run({"a": {"seconds": 1.0}}, path=path, note="old")
+        bench.append_run({"a": {"seconds": 2.0}}, path=path, note="new")
+        assert bench.baseline_run(bench.load(path))["note"] == "new"
+
+
+class TestRegressionCheck:
+    BASELINE = {"results": {"a": {"seconds": 1.0}, "b": {"seconds": 1.0}}}
+
+    def test_no_failures_within_threshold(self):
+        fresh = {"a": {"seconds": 1.25}, "b": {"seconds": 0.5}}
+        assert bench.check_regression(self.BASELINE, fresh) == []
+
+    def test_regression_beyond_threshold_fails(self):
+        fresh = {"a": {"seconds": 1.5}, "b": {"seconds": 1.0}}
+        failures = bench.check_regression(self.BASELINE, fresh)
+        assert len(failures) == 1
+        name, base_s, new_s, slowdown = failures[0]
+        assert name == "a"
+        assert (base_s, new_s) == (1.0, 1.5)
+        assert slowdown == pytest.approx(0.5)
+
+    def test_new_scenarios_are_not_regressions(self):
+        fresh = {"unheard_of": {"seconds": 99.0}}
+        assert bench.check_regression(self.BASELINE, fresh) == []
+
+    def test_custom_threshold(self):
+        fresh = {"a": {"seconds": 1.2}}
+        assert bench.check_regression(self.BASELINE, fresh,
+                                      threshold=0.1) != []
+
+
+class TestFormat:
+    def test_format_shows_delta_vs_baseline(self):
+        fresh = {"a": {"seconds": 1.5}}
+        text = bench.format_results(
+            fresh, {"results": {"a": {"seconds": 1.0}}})
+        assert "a" in text
+        assert "+50.0% vs baseline" in text

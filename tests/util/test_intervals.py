@@ -171,6 +171,41 @@ class TestExtentMapQueries:
         assert c != m
 
 
+class TestIteratorVariants:
+    """The tuple-yielding hot-path iterators must agree with the
+    Extent-returning public API."""
+
+    def test_iter_tuples_matches_iter(self):
+        m = ExtentMap([(0, 4), (6, 10), (20, 25)])
+        assert list(m.iter_tuples()) == [
+            (e.start, e.end) for e in m]
+
+    def test_overlap_iter_matches_overlap(self):
+        m = ExtentMap([(0, 4), (6, 10), (20, 25)])
+        for lo, hi in [(0, 30), (2, 8), (4, 6), (10, 20), (23, 40)]:
+            assert list(m.overlap_iter(lo, hi)) == [
+                (e.start, e.end) for e in m.overlap(lo, hi)]
+
+    def test_gaps_iter_matches_gaps(self):
+        m = ExtentMap([(2, 4), (6, 8)])
+        for lo, hi in [(0, 10), (2, 8), (3, 7), (8, 12), (0, 2)]:
+            assert list(m.gaps_iter(lo, hi)) == [
+                (e.start, e.end) for e in m.gaps(lo, hi)]
+
+    def test_overlap_len(self):
+        m = ExtentMap([(0, 4), (6, 10)])
+        assert m.overlap_len(2, 8) == 4
+        assert m.overlap_len(4, 6) == 0
+        assert m.overlap_len(0, 10) == 8
+
+    def test_empty_map_iterators(self):
+        m = ExtentMap()
+        assert list(m.iter_tuples()) == []
+        assert list(m.overlap_iter(0, 10)) == []
+        assert list(m.gaps_iter(3, 9)) == [(3, 9)]
+        assert m.overlap_len(0, 10) == 0
+
+
 # ---------------------------------------------------------------------------
 # Property-based: ExtentMap must behave exactly like a set of integers.
 # ---------------------------------------------------------------------------
@@ -221,3 +256,19 @@ def test_overlap_and_gaps_partition_query_range(operations, qa, qb):
         assert piece.start == cursor
         cursor = piece.end
     assert cursor == hi or (not pieces and lo == hi)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops, st.integers(0, 64), st.integers(0, 64))
+def test_iterator_variants_match_list_api(operations, qa, qb):
+    lo, hi = min(qa, qb), max(qa, qb)
+    m = ExtentMap()
+    for op, a, b in operations:
+        s, e = min(a, b), max(a, b)
+        (m.add if op == "add" else m.remove)(s, e)
+    assert list(m.overlap_iter(lo, hi)) == [
+        (e.start, e.end) for e in m.overlap(lo, hi)]
+    assert list(m.gaps_iter(lo, hi)) == [
+        (e.start, e.end) for e in m.gaps(lo, hi)]
+    assert m.overlap_len(lo, hi) == sum(
+        e.length for e in m.overlap(lo, hi))
