@@ -5,9 +5,15 @@ A stdlib-:mod:`ast` analysis pass with CSAR-specific rules (see
 for worked examples):
 
 * **CSAR001** — a generator function acquires a lock/resource
-  (``*.acquire(...)`` or ``*.request()``) without a ``try/finally`` (or
-  an ``except`` handler) that releases it, and without using the request
-  as a context manager.
+  (``*.acquire(...)`` or ``*.request()``) that a path can exit without
+  releasing.  Checked flow-sensitively: a CFG
+  (:mod:`repro.analysis.cfg`) plus a forward lock-ownership dataflow
+  (:mod:`repro.analysis.dataflow`) decide whether any normal or
+  exceptional exit can still hold the token — no ``try/finally`` shape
+  matching.  A token whose release lives in an ``except`` handler or
+  ``finally`` block is exempt from the interrupt-leak variant, and a
+  request whose ownership escapes (stored, returned, passed on) is the
+  protocol-carried idiom and is not reported.
 * **CSAR002** — parity-group locks acquired in statically-descending
   group order, either as consecutive literal groups or by iterating a
   descending literal sequence.
@@ -26,6 +32,18 @@ for worked examples):
   constructed inside a loop (or comprehension) in a ``hw``/``sim``
   module: those are the simulator's hot paths, where the tuple-based
   ``overlap_iter``/``gaps_iter`` variants must be used instead.
+* **CSAR007** — a parity lock (an ``*.acquire(...)`` token) held across
+  a yield on long-latency I/O (``rpc``/``get``/``stream``/``transfer``/
+  ``send``/``recv``) — the paper's Section 5.1 locking cost comes from
+  exactly this: serialization windows stretched over non-lock I/O.
+  Timeouts and the RMW's own ``fs.read``/``fs.write`` are deliberate
+  hold-duration modeling and do not count.
+* **CSAR008** — a lock released on some paths but still held on at
+  least one *normal* exit (same dataflow as CSAR001; a release that
+  exists but is conditional).
+* **CSAR009** — an overflow-path function in a ``redundancy`` module
+  writes partial-stripe data to the home location (``WriteReq`` or a
+  ``.write(data_file(...), ...)``) instead of the overflow region.
 
 Findings can be suppressed per line with a trailing comment::
 
@@ -42,9 +60,13 @@ import json
 import os
 import tokenize
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.analysis.dataflow import LockAnalysis
 from repro.analysis.rules import RULES, all_codes
+
+#: Version of the ``--format=json`` payload (see ``docs/ANALYSIS.md``).
+LINT_SCHEMA_VERSION = 1
 
 #: Attribute names treated as lock/resource acquisition (CSAR001/CSAR002).
 _ACQUIRE_ATTRS = ("acquire",)
@@ -158,21 +180,6 @@ def _call_attr(node: ast.AST) -> Optional[str]:
     return None
 
 
-def _is_acquire_call(node: ast.AST) -> bool:
-    attr = _call_attr(node)
-    if attr in _ACQUIRE_ATTRS:
-        return True
-    return attr == _REQUEST_ATTR and not node.args and not node.keywords
-
-
-def _contains_release(nodes: Sequence[ast.stmt]) -> bool:
-    for stmt in nodes:
-        for node in ast.walk(stmt):
-            if _call_attr(node) in _RELEASE_ATTRS:
-                return True
-    return False
-
-
 def _parent_map(func: ast.FunctionDef) -> Dict[ast.AST, ast.AST]:
     parents: Dict[ast.AST, ast.AST] = {}
     todo: List[ast.AST] = [func]
@@ -253,6 +260,11 @@ class FileLinter:
         parts = os.path.normpath(self.path).split(os.sep)
         return any(part in ("sim", "redundancy") for part in parts)
 
+    def _is_redundancy_scoped(self) -> bool:
+        """CSAR009 applies only to ``redundancy`` modules."""
+        parts = os.path.normpath(self.path).split(os.sep)
+        return "redundancy" in parts
+
     def _is_hot_scoped(self) -> bool:
         """CSAR006 applies only to ``hw``/``sim`` hot-path modules."""
         parts = os.path.normpath(self.path).split(os.sep)
@@ -265,41 +277,100 @@ class FileLinter:
         generator = any(isinstance(n, (ast.Yield, ast.YieldFrom))
                         for n in nodes)
         if generator:
-            self._check_release_guard(func, nodes)
+            self._check_lock_dataflow(func)
             self._check_lock_order(func, nodes)
             self._check_yields(func, nodes)
+        if self._is_redundancy_scoped() and "overflow" in func.name:
+            self._check_overflow_inplace(func, nodes)
         self._check_lost_failures(func, nodes)
 
-    # -- CSAR001 --------------------------------------------------------
-    def _check_release_guard(self, func: ast.FunctionDef,
-                             nodes: List[ast.AST]) -> None:
-        acquires = [n for n in nodes if _is_acquire_call(n)]
-        if not acquires:
+    # -- CSAR001 / CSAR007 / CSAR008 (CFG + dataflow) -------------------
+    #: Yielded calls counted as long-latency non-lock I/O (CSAR007).
+    _IO_YIELD_NAMES = frozenset(
+        ("rpc", "get", "stream", "transfer", "send", "recv"))
+
+    def _check_lock_dataflow(self, func: ast.FunctionDef) -> None:
+        analysis = LockAnalysis(func)
+        if not analysis.tokens:
             return
-        # A try whose finally (or except handler) releases guards every
-        # acquisition in the function: the idiom is acquire-before-try
-        # with the blocking yield inside the try.
-        for node in nodes:
-            if isinstance(node, ast.Try):
-                if _contains_release(node.finalbody):
-                    return
-                for handler in node.handlers:
-                    if _contains_release(handler.body):
-                        return
-        with_guarded: Set[int] = set()
-        for node in nodes:
-            if isinstance(node, ast.With):
-                for item in node.items:
-                    for sub in ast.walk(item.context_expr):
-                        with_guarded.add(id(sub))
-        for call in acquires:
-            if id(call) in with_guarded:
+        held_exit = analysis.held_at_exit()
+        held_raise = analysis.held_at_raise()
+        for token in analysis.tokens:
+            if token.guarded or token.escapes:
                 continue
+            call = token.call
+            desc = ast.unparse(call.func)
+            if not token.release_sites:
+                if token.tid in held_exit or token.tid in held_raise:
+                    self._report(
+                        "CSAR001", call,
+                        f"{desc}() is never released on any path "
+                        f"[fix: {RULES['CSAR001'].fixit}]")
+                continue
+            if token.tid in held_exit:
+                self._report(
+                    "CSAR008", call,
+                    f"{desc}() released on some paths but still held on "
+                    "at least one normal exit "
+                    f"[fix: {RULES['CSAR008'].fixit}]")
+            elif token.tid in held_raise and not token.release_in_cleanup:
+                self._report(
+                    "CSAR001", call,
+                    f"{desc}() released on the normal path but leaked "
+                    "when the blocking yield is interrupted "
+                    f"[fix: {RULES['CSAR001'].fixit}]")
+        for yield_node, held in analysis.yields_while_held():
+            value = yield_node.value
+            if not isinstance(value, ast.Call):
+                continue
+            name = None
+            if isinstance(value.func, ast.Attribute):
+                name = value.func.attr
+            elif isinstance(value.func, ast.Name):
+                name = value.func.id
+            if name not in self._IO_YIELD_NAMES:
+                continue
+            locks = ", ".join(sorted(
+                f"{t.receiver}.{_ACQUIRE_ATTRS[0]}({', '.join(t.args)})"
+                for t in held))
             self._report(
-                "CSAR001", call,
-                f"{ast.unparse(call.func)}() without a try/finally or "
-                "context manager guaranteeing release on all paths "
-                f"[fix: {RULES['CSAR001'].fixit}]")
+                "CSAR007", yield_node,
+                f"yield on {ast.unparse(value.func)}() while holding "
+                f"{locks} — parity lock held across non-lock I/O "
+                f"[fix: {RULES['CSAR007'].fixit}]")
+
+    # -- CSAR009 --------------------------------------------------------
+    def _check_overflow_inplace(self, func: ast.FunctionDef,
+                                nodes: List[ast.AST]) -> None:
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            func_node = node.func
+            name = None
+            if isinstance(func_node, ast.Name):
+                name = func_node.id
+            elif isinstance(func_node, ast.Attribute):
+                name = func_node.attr
+            if name == "WriteReq":
+                self._report(
+                    "CSAR009", node,
+                    "overflow path sends WriteReq (home-location data "
+                    "write) instead of OverflowWriteReq "
+                    f"[fix: {RULES['CSAR009'].fixit}]")
+            elif name == "write" and node.args:
+                target = node.args[0]
+                target_name = None
+                if isinstance(target, ast.Call):
+                    if isinstance(target.func, ast.Name):
+                        target_name = target.func.id
+                    elif isinstance(target.func, ast.Attribute):
+                        target_name = target.func.attr
+                if target_name == "data_file":
+                    self._report(
+                        "CSAR009", node,
+                        "overflow path writes the home data file "
+                        "in place instead of the overflow region "
+                        f"[fix: {RULES['CSAR009'].fixit}]")
 
     # -- CSAR002 --------------------------------------------------------
     def _check_lock_order(self, func: ast.FunctionDef,
@@ -623,7 +694,16 @@ def format_text(findings: List[Finding]) -> str:
 
 
 def format_json(findings: List[Finding]) -> str:
+    """Serialize findings as a versioned JSON document.
+
+    The payload is ``{"schema_version": N, "findings": [...]}`` so CI
+    and external tooling can detect format changes; see
+    ``docs/ANALYSIS.md`` for the field reference.
+    """
     return json.dumps(
-        [{"path": f.path, "line": f.line, "col": f.col, "code": f.code,
-          "message": f.message, "fixit": f.fixit} for f in findings],
+        {"schema_version": LINT_SCHEMA_VERSION,
+         "findings": [
+             {"path": f.path, "line": f.line, "col": f.col,
+              "code": f.code, "message": f.message, "fixit": f.fixit}
+             for f in findings]},
         indent=2)

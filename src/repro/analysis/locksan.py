@@ -30,15 +30,17 @@ everything; pass ``strict=True`` to raise on the first report.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import DeadlockError, LockSanError
 
-#: Every sanitizer created since the last :func:`drain_reports` call;
-#: lets the CLI and the pytest hook sweep reports across many
-#: Environments without threading the instances through.
-_ACTIVE: List["LockSan"] = []
+#: Weak refs to every live sanitizer; lets the CLI and the pytest hook
+#: sweep reports across many Environments without threading the
+#: instances through.  Drains keep live sanitizers registered, so
+#: reports made after a drain are still seen.
+_ACTIVE: List["weakref.ref[LockSan]"] = []
 
 _Key = Tuple[str, int]  # (file, parity group)
 
@@ -68,8 +70,9 @@ class LockSan:
         self.raise_on_deadlock = raise_on_deadlock
         self.reports: List[LockSanReport] = []
         # -- xid-keyed protocol state (ParityLockTable) ----------------
-        #: xid -> {(file, group): process name that acquired it}
-        self._held_by_xid: Dict[int, Dict[_Key, str]] = {}
+        #: xid -> {(file, group): (acquiring process, sim-time acquired)}
+        self._held_by_xid: Dict[int, Dict[_Key,
+                                          Tuple[str, Optional[float]]]] = {}
         #: (file, group) -> xid currently holding the parity lock
         self._holder: Dict[_Key, int] = {}
         #: (file, group) -> xids queued FIFO behind the holder
@@ -86,7 +89,7 @@ class LockSan:
         self._dead_requests: Set[int] = set()
         #: lock -> (file, group) label, registered by ParityLockTable
         self._labels: Dict[int, _Key] = {}
-        _ACTIVE.append(self)
+        _ACTIVE.append(weakref.ref(self))
 
     # ------------------------------------------------------------------
     # reporting
@@ -142,7 +145,8 @@ class LockSan:
             report = self._report(
                 "deadlock",
                 f"wait-for cycle on parity locks: {chain} -> back to "
-                f"start; blocked on {file}:{group}",
+                f"start; blocked on {file}:{group}; "
+                f"{self._held_summary(cycle)}",
                 file=file, group=group, processes=names)
             if self.raise_on_deadlock and not self.strict:
                 raise DeadlockError(report.format())
@@ -157,7 +161,7 @@ class LockSan:
         self._waiting_on.pop(xid, None)
 
     def on_acquired(self, file: str, group: int, xid: int,
-                    proc_name: str) -> None:
+                    proc_name: str, now: Optional[float] = None) -> None:
         key = (file, group)
         self._proc_of_xid[xid] = proc_name
         waiters = self._waiters.get(key, [])
@@ -165,7 +169,7 @@ class LockSan:
             waiters.remove(xid)
         self._waiting_on.pop(xid, None)
         held = self._held_by_xid.setdefault(xid, {})
-        for (other_file, other_group), holder_proc in held.items():
+        for (other_file, other_group), (holder_proc, _when) in held.items():
             if other_file == file and other_group > group:
                 self._report(
                     "order-inversion",
@@ -174,7 +178,7 @@ class LockSan:
                     "taken in ascending order (Section 5.1)",
                     file=file, group=group,
                     processes=(proc_name, holder_proc))
-        held[key] = proc_name
+        held[key] = (proc_name, now)
         self._holder[key] = xid
 
     def on_released(self, file: str, group: int, xid: int) -> None:
@@ -194,6 +198,23 @@ class LockSan:
             f"xid {xid} released parity lock {file}:{group} it does not "
             "hold",
             file=file, group=group, processes=(proc_name,))
+
+    def _held_summary(self, cycle: List[int]) -> str:
+        """Per-participant held locks (with acquisition sim-times) for
+        deadlock reports — what each cycle member refuses to give up."""
+        parts: List[str] = []
+        for xid in cycle:
+            name = self._proc_of_xid.get(xid, f"xid {xid}")
+            held = self._held_by_xid.get(xid, {})
+            if not held:
+                parts.append(f"{name}(xid {xid}) holds nothing")
+                continue
+            locks = ", ".join(
+                f"{f}:{g}" + ("" if when is None
+                              else f" (acquired t={when:.6g})")
+                for (f, g), (_proc, when) in sorted(held.items()))
+            parts.append(f"{name}(xid {xid}) holds [{locks}]")
+        return "held: " + "; ".join(parts)
 
     # ------------------------------------------------------------------
     # wait-for cycle detection
@@ -283,11 +304,19 @@ def installed() -> bool:
 
 
 def drain_reports() -> List[LockSanReport]:
-    """Collect (and clear) reports from every sanitizer created since
-    the previous drain."""
+    """Collect (and clear) reports from every live sanitizer.
+
+    Sanitizers stay registered across drains (their Environments may
+    keep running); dead ones are swept out here.
+    """
     out: List[LockSanReport] = []
-    for sanitizer in _ACTIVE:
+    live: List["weakref.ref[LockSan]"] = []
+    for ref in _ACTIVE:
+        sanitizer = ref()
+        if sanitizer is None:
+            continue
         out.extend(sanitizer.reports)
         sanitizer.reports = []
-    _ACTIVE.clear()
+        live.append(ref)
+    _ACTIVE[:] = live
     return out

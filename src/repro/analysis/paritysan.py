@@ -1,0 +1,214 @@
+"""ParitySan: a runtime sanitizer for the redundancy invariants.
+
+LockSan (:mod:`repro.analysis.locksan`) checks the *protocol*; ParitySan
+checks the *state* the protocol exists to protect.  When installed
+(:func:`install`, the CLI's ``run --sanitize=parity``, or the
+``CSAR_PARITYSAN=1`` environment variable honored by the test suite's
+``conftest``), every new :class:`~repro.sim.engine.Environment` gets a
+:class:`ParitySan` attached as ``env.paritysan`` and each
+:class:`~repro.csar.system.System` registers itself via :meth:`attach`.
+
+At configurable sync points it asserts:
+
+* **parity == XOR of live stripe blocks** for RAID5/Hybrid files (and
+  mirror equality for RAID1) — reusing the offline scrub's oracles,
+  only when the system runs in ``content_mode``;
+* **overflow entries shadow, never alias, home blocks** — the
+  structural :meth:`~repro.redundancy.overflow.OverflowTable.check_invariants`
+  self-check on every overflow and overflow-mirror table (content mode
+  not required);
+* **post-recovery / post-scrub consistency** — a hook at the end of
+  :func:`~repro.redundancy.recovery.rebuild_server` and after every
+  :func:`~repro.redundancy.scrub.scrub` pass.
+
+Sync points and their callers:
+
+========================  ==============================================
+``on_quiescent()``        ``System.run()`` after the awaited processes
+                          finish (the primary check; background flushers
+                          keep the heap alive, so full drains are rare)
+``on_run_complete()``     ``Environment.run`` when the heap drains
+``on_recovery(index)``    end of ``rebuild_server``
+``on_scrub(name, i)``     every offline scrub pass (records the scrub's
+                          own findings as violations)
+``on_write_start/
+on_write_complete``       around each top-level redundancy write; with
+                          ``per_write=True`` a full check runs whenever
+                          the in-flight count returns to zero
+========================  ==============================================
+
+Checks are skipped while writes are in flight or any server is failed —
+those windows are legitimately inconsistent (that is what recovery is
+for).  Violations *collect* as :class:`ParitySanReport` entries (swept
+by :func:`drain_reports`); pass ``strict=True`` to raise
+:class:`~repro.errors.ParitySanError` on the first one.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.errors import ParitySanError
+
+#: Weak refs to every live sanitizer; drains sweep reports but keep the
+#: sanitizer registered, so reports made after a drain are still seen.
+_ACTIVE: List["weakref.ref[ParitySan]"] = []
+
+
+@dataclass(frozen=True)
+class ParitySanReport:
+    """One observed redundancy-invariant violation."""
+
+    kind: str                 # "parity" | "mirror" | "overflow-mirror" |
+                              # "overflow-structure" | "scrub"
+    message: str
+    file: Optional[str]
+    sync_point: str
+
+    def format(self) -> str:
+        return (f"ParitySan[{self.kind}] at {self.sync_point}: "
+                f"{self.message}")
+
+
+class ParitySan:
+    """Per-:class:`Environment` redundancy-invariant sanitizer."""
+
+    def __init__(self, strict: bool = False,
+                 per_write: bool = False) -> None:
+        self.strict = strict
+        self.per_write = per_write
+        self.reports: List[ParitySanReport] = []
+        self._system: Optional[Any] = None
+        self._inflight = 0
+        _ACTIVE.append(weakref.ref(self))
+
+    # ------------------------------------------------------------------
+    def attach(self, system: Any) -> None:
+        """Called by :class:`System` so checks can reach cluster state."""
+        self._system = system
+
+    def _report(self, kind: str, message: str, file: Optional[str],
+                sync_point: str) -> None:
+        report = ParitySanReport(kind, message, file, sync_point)
+        self.reports.append(report)
+        if self.strict:
+            raise ParitySanError(report.format())
+
+    # ------------------------------------------------------------------
+    # sync points
+    # ------------------------------------------------------------------
+    def on_quiescent(self) -> None:
+        self._check_all("quiescent")
+
+    def on_run_complete(self) -> None:
+        self._check_all("run-complete")
+
+    def on_recovery(self, index: int) -> None:
+        self._check_all(f"post-recovery(server {index})")
+
+    def on_scrub(self, name: str, issues: List[str]) -> None:
+        for issue in issues:
+            self._report("scrub", issue, name, f"scrub({name})")
+
+    def on_write_start(self, name: str) -> None:
+        self._inflight += 1
+
+    def on_write_complete(self, name: str) -> None:
+        self._inflight -= 1
+        if self.per_write and self._inflight == 0:
+            self._check_all(f"post-write({name})")
+
+    # ------------------------------------------------------------------
+    # the checks
+    # ------------------------------------------------------------------
+    def _check_all(self, sync_point: str) -> None:
+        system = self._system
+        if system is None or self._inflight:
+            return
+        self._check_overflow_structure(system, sync_point)
+        if not system.config.content_mode:
+            return
+        if any(iod.failed for iod in system.iods):
+            # Degraded state is legitimately inconsistent until rebuilt.
+            return
+        self._check_content(system, sync_point)
+
+    def _check_overflow_structure(self, system: Any,
+                                  sync_point: str) -> None:
+        for iod in system.iods:
+            for name, table in iod.overflow.items():
+                for issue in table.check_invariants():
+                    self._report(
+                        "overflow-structure",
+                        f"server {iod.index} overflow[{name}]: {issue}",
+                        name, sync_point)
+            for (name, origin), table in iod.overflow_mirror.items():
+                for issue in table.check_invariants():
+                    self._report(
+                        "overflow-structure",
+                        f"server {iod.index} overflow-mirror"
+                        f"[{name} origin {origin}]: {issue}",
+                        name, sync_point)
+
+    def _check_content(self, system: Any, sync_point: str) -> None:
+        from repro.redundancy import scrub
+
+        for name, meta in system.manager.files.items():
+            scheme = meta.scheme
+            if scheme == "raid1":
+                for issue in scrub.check_mirrors(system, name):
+                    self._report("mirror", issue, name, sync_point)
+            elif scheme in ("raid5", "hybrid"):
+                for issue in scrub.check_parity(system, name):
+                    self._report("parity", issue, name, sync_point)
+                if scheme == "hybrid":
+                    for issue in scrub.check_overflow_mirrors(system,
+                                                              name):
+                        self._report("overflow-mirror", issue, name,
+                                     sync_point)
+
+
+# ----------------------------------------------------------------------
+# global installation
+# ----------------------------------------------------------------------
+def install(strict: bool = False, per_write: bool = False) -> None:
+    """Attach a fresh ParitySan to every Environment created from now
+    on."""
+    from repro.sim import engine
+
+    engine.set_paritysan_factory(
+        lambda: ParitySan(strict=strict, per_write=per_write))
+
+
+def uninstall() -> None:
+    """Stop sanitizing new Environments."""
+    from repro.sim import engine
+
+    engine.set_paritysan_factory(None)
+
+
+def installed() -> bool:
+    from repro.sim import engine
+
+    return engine.paritysan_factory() is not None
+
+
+def drain_reports() -> List[ParitySanReport]:
+    """Collect (and clear) reports from every live sanitizer.
+
+    Sanitizers stay registered across drains (their Environments may
+    keep running); dead ones are swept out here.
+    """
+    out: List[ParitySanReport] = []
+    live: List["weakref.ref[ParitySan]"] = []
+    for ref in _ACTIVE:
+        sanitizer = ref()
+        if sanitizer is None:
+            continue
+        out.extend(sanitizer.reports)
+        sanitizer.reports = []
+        live.append(ref)
+    _ACTIVE[:] = live
+    return out

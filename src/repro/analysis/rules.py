@@ -87,6 +87,37 @@ RULES: Dict[str, Rule] = {
                   ".defused() after .fail() when the failure is "
                   "intentional and handled",
         ),
+        Rule(
+            code="CSAR007",
+            name="lock-held-across-nonlock-yield",
+            summary="parity lock held across a yield on disk or link "
+                    "I/O outside the read-modify-write window — the "
+                    "paper's ~20% locking-cost culprit",
+            fixit="release the lock before long-latency I/O, or move "
+                  "the I/O ahead of the acquire; only the parity "
+                  "read-modify-write itself needs the lock",
+        ),
+        Rule(
+            code="CSAR008",
+            name="conditional-release",
+            summary="lock released on some control-flow paths but still "
+                    "held on at least one normal exit",
+            fixit="hoist the release into a finally block (or release "
+                  "in every branch) so each normal exit path drops the "
+                  "lock; if another handler releases it by protocol, "
+                  "suppress with a comment explaining why",
+        ),
+        Rule(
+            code="CSAR009",
+            name="overflow-write-in-place",
+            summary="hybrid overflow path writes partial-stripe data to "
+                    "the home location instead of the overflow region",
+            fixit="send OverflowWriteReq (or write the *.ovf overflow "
+                  "file) so the home block stays parity-consistent; "
+                  "in-place data writes are only legal for full-stripe "
+                  "or RMW paths that update parity in the same lock "
+                  "window",
+        ),
     )
 }
 

@@ -1,0 +1,89 @@
+"""Deliberately-buggy scheme variants for verifying the verifiers.
+
+These subclasses re-introduce the two bug classes the paper's protocol
+is designed to exclude, so tests can prove the schedule explorer
+(:mod:`repro.analysis.explore`) and ParitySan
+(:mod:`repro.analysis.paritysan`) actually catch them within a bounded
+budget:
+
+* :class:`DropReleaseRaid5` — the RMW path *drops* one parity-group
+  unlock (a lost ``ParityWriteReq(unlock=True)``): the next writer to
+  that group queues forever, which surfaces as a
+  :class:`~repro.errors.SimulationError` deadlock or a LockSan leak
+  report;
+* :class:`InPlaceOverflowHybrid` — the partial-stripe path writes the
+  new bytes to the *home* data location instead of the overflow region
+  (exactly what Section 4 forbids): parity over the in-place blocks
+  goes stale, which ParitySan's quiescent check reports.
+
+Neither class is registered with the scheme registry — they impersonate
+their parent's ``name`` so existing metadata dispatch keeps working, and
+:func:`inject` swaps them into a built :class:`System` explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.pvfs import messages as msg
+from repro.redundancy.hybrid import Hybrid
+from repro.redundancy.raid5 import Raid5
+from repro.sim.engine import Event
+from repro.storage.payload import Payload
+
+
+class DropReleaseRaid5(Raid5):
+    """RAID5 whose N-th read-modify-write forgets its group unlock."""
+
+    name = "raid5"  # impersonate: metadata still says "raid5"
+
+    def __init__(self, config: Any, drop_release_number: int = 2) -> None:
+        super().__init__(config)
+        self.drop_release_number = drop_release_number
+        self._rmw_count = 0
+
+    def _rmw_unlock(self, own_lock: bool) -> bool:
+        if not own_lock:
+            return own_lock
+        self._rmw_count += 1
+        if self._rmw_count == self.drop_release_number:
+            return False  # the bug: lock acquired, never released
+        return own_lock
+
+
+class InPlaceOverflowHybrid(Hybrid):
+    """Hybrid whose partial-stripe writes land on the home blocks."""
+
+    name = "hybrid"  # impersonate: metadata still says "hybrid"
+
+    def _write_overflow(self, client, meta, start: int, payload: Payload,
+                        ) -> Generator[Event, Any, None]:
+        # The bug: partial-stripe data written in place, no overflow
+        # entry, no mirror — and no parity update either, so the group's
+        # parity no longer XORs to its data blocks.
+        calls: List = []
+        targets: List[int] = []
+        for sr in meta.layout.map_range(start, payload.length):
+            chunk = self._gather(payload, start, sr)
+            calls.append(client.rpc(client.iods[sr.server], msg.WriteReq(
+                meta.name, kind="data", offset=sr.local_start,
+                payload=chunk, xid=client.next_xid())))
+            targets.append(sr.server)
+        yield from self._tolerant_parallel(client, targets, calls)
+
+
+def inject(system: Any, scheme: Any) -> Any:
+    """Swap ``scheme`` in for every client of a built ``System``.
+
+    The replacement must impersonate the configured scheme's ``name``
+    (clients dispatch per-file via ``meta.scheme == self.scheme.name``).
+    Returns ``system`` for chaining.
+    """
+    expected = system.config.scheme
+    if scheme.name != expected:
+        raise ValueError(
+            f"seeded scheme impersonates {scheme.name!r} but the system "
+            f"is configured for {expected!r}")
+    for client in system.clients:
+        client.scheme = scheme
+    return system

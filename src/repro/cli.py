@@ -6,10 +6,14 @@
     csar-repro run fig3
     csar-repro run fig6a --scale 0.1
     csar-repro run all --scale 0.05 --sanitize
+    csar-repro run all --scale 0.05 --sanitize=all
     csar-repro run all --jobs 4
     csar-repro profile fig7a
     csar-repro bench --quick --check
     csar-repro lint src --format=json
+    csar-repro explore --smoke
+    csar-repro explore race-lock-order --strategy pct --budget 128
+    csar-repro explore --replay out/race-lock-order.sched
 """
 
 from __future__ import annotations
@@ -58,17 +62,25 @@ def _emit_table(exp_id: str, table, wall: float, effective: float,
 
 def _cmd_run(ids: List[str], scale: Optional[float],
              csv_dir: Optional[str] = None, chart: bool = False,
-             sanitize: bool = False, jobs: int = 1) -> int:
+             sanitize: Optional[str] = None, jobs: int = 1) -> int:
+    from repro.perf.runner import sanitize_modes
+
     if ids == ["all"]:
         ids = sorted(REGISTRY)
     if jobs > 1:
         return _cmd_run_parallel(ids, scale, csv_dir, chart, sanitize, jobs)
-    previous_factory = None
-    if sanitize:
-        from repro.analysis import locksan
+    want_lock, want_parity = sanitize_modes(sanitize)
+    previous_lock = previous_parity = None
+    if want_lock or want_parity:
         from repro.sim import engine
-        previous_factory = engine.sanitizer_factory()
+        previous_lock = engine.sanitizer_factory()
+        previous_parity = engine.paritysan_factory()
+    if want_lock:
+        from repro.analysis import locksan
         locksan.install()
+    if want_parity:
+        from repro.analysis import paritysan
+        paritysan.install()
     status = 0
     try:
         for exp_id in ids:
@@ -88,21 +100,25 @@ def _cmd_run(ids: List[str], scale: Optional[float],
                 continue
             wall = time.time() - t0
             reports: List[str] = []
-            if sanitize:
+            if want_lock:
                 from repro.analysis import locksan
-                reports = [r.format() for r in locksan.drain_reports()]
+                reports += [r.format() for r in locksan.drain_reports()]
+            if want_parity:
+                from repro.analysis import paritysan
+                reports += [r.format() for r in paritysan.drain_reports()]
             status |= _emit_table(exp_id, table, wall, effective, chart,
                                   csv_dir, reports)
     finally:
-        if sanitize:
+        if want_lock or want_parity:
             from repro.sim import engine
-            engine.set_sanitizer_factory(previous_factory)
+            engine.set_sanitizer_factory(previous_lock)
+            engine.set_paritysan_factory(previous_parity)
     return status
 
 
 def _cmd_run_parallel(ids: List[str], scale: Optional[float],
                       csv_dir: Optional[str], chart: bool,
-                      sanitize: bool, jobs: int) -> int:
+                      sanitize: Optional[str], jobs: int) -> int:
     """Fan independent experiments across a process pool (--jobs N)."""
     from repro.perf.runner import SweepPoint, run_sweep
 
@@ -168,6 +184,70 @@ def _cmd_bench(json_path: str, note: str, quick: bool, check: bool,
     return 0
 
 
+def _cmd_explore(scenario: Optional[str], strategy: str, budget: int,
+                 depth: int, seed: int, smoke: bool,
+                 sched_dir: Optional[str], replay_path: Optional[str],
+                 list_scenarios: bool) -> int:
+    from repro.analysis import explore
+
+    if list_scenarios:
+        width = max(len(name) for name in explore.SCENARIOS)
+        for name in sorted(explore.SCENARIOS):
+            scen = explore.SCENARIOS[name]
+            tag = " [seeded bug]" if scen.seeded_bug else ""
+            print(f"{name.ljust(width)}  {scen.description}{tag}")
+        return 0
+
+    if replay_path is not None:
+        record = explore.load_schedule(replay_path)
+        reproduced, violation = explore.replay(record)
+        if reproduced:
+            print(f"replayed {record.scenario}: reproduced "
+                  f"{violation.format()}")
+            return 0
+        got = violation.format() if violation is not None else "clean run"
+        print(f"replay of {record.scenario} did NOT reproduce "
+              f"{record.violation.format()}; got: {got}", file=sys.stderr)
+        return 1
+
+    if smoke:
+        try:
+            results = explore.explore_smoke(budget=budget, depth=depth,
+                                            sched_dir=sched_dir)
+        except AssertionError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+        for result in results:
+            print(f"{result.scenario}: caught "
+                  f"{result.record.violation.format()} after "
+                  f"{result.schedules} schedule(s); replay deterministic")
+        return 0
+
+    if scenario is None:
+        print("error: give a scenario name, --smoke, --replay, or --list",
+              file=sys.stderr)
+        return 2
+    try:
+        result = explore.explore(scenario, strategy=strategy, budget=budget,
+                                 depth=depth, seed=seed)
+    except KeyError as err:
+        print(f"error: {err.args[0]}", file=sys.stderr)
+        return 2
+    if not result.found:
+        print(f"{scenario}: no violation in {result.schedules} "
+              f"schedule(s) ({strategy})")
+        return 0
+    print(f"{scenario}: violation after {result.schedules} schedule(s) "
+          f"({strategy}): {result.record.violation.format()}")
+    if sched_dir is not None:
+        import os
+        os.makedirs(sched_dir, exist_ok=True)
+        path = os.path.join(sched_dir, f"{scenario}.sched")
+        explore.save_schedule(result.record, path)
+        print(f"wrote {path}")
+    return 1
+
+
 def _cmd_lint(paths: List[str], fmt: str, list_rules: bool) -> int:
     from repro.analysis import lint
     from repro.analysis.rules import RULES
@@ -210,9 +290,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "directory")
     run_p.add_argument("--chart", action="store_true",
                        help="also render each result as a terminal chart")
-    run_p.add_argument("--sanitize", action="store_true",
-                       help="run under the LockSan lock-protocol "
-                            "sanitizer; reports fail the run")
+    run_p.add_argument("--sanitize", nargs="?", const="lock", default=None,
+                       choices=("lock", "parity", "all"),
+                       help="run under runtime sanitizers; reports fail "
+                            "the run.  'lock' (the default when the flag "
+                            "is bare) = LockSan lock protocol, 'parity' = "
+                            "ParitySan redundancy invariants, 'all' = "
+                            "both")
     run_p.add_argument("--jobs", type=int, default=1,
                        help="run independent experiments across N worker "
                             "processes (default 1: classic sequential "
@@ -249,6 +333,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report", help="run the paper-claim checklist and print verdicts")
     report_p.add_argument("--scale", type=float, default=None,
                           help="data-volume scale factor")
+    explore_p = sub.add_parser(
+        "explore", help="systematically explore event schedules for "
+                        "protocol violations (see docs/ANALYSIS.md)")
+    explore_p.add_argument("scenario", nargs="?", default=None,
+                           help="registered scenario name (see --list)")
+    explore_p.add_argument("--strategy", choices=("dfs", "pct"),
+                           default="dfs",
+                           help="dfs = bounded systematic, pct = seeded "
+                                "randomized (default: dfs)")
+    explore_p.add_argument("--budget", type=int, default=64,
+                           help="max schedules to execute (default 64)")
+    explore_p.add_argument("--depth", type=int, default=12,
+                           help="dfs: max decision points branched on "
+                                "(default 12)")
+    explore_p.add_argument("--seed", type=int, default=0,
+                           help="pct: base random seed (default 0)")
+    explore_p.add_argument("--smoke", action="store_true",
+                           help="run every seeded-bug scenario; exit 1 "
+                                "unless all are caught and replay "
+                                "deterministically (the CI gate)")
+    explore_p.add_argument("--sched-dir", default=None,
+                           help="write violating schedules as .sched "
+                                "files into this directory")
+    explore_p.add_argument("--replay", default=None, dest="replay_path",
+                           metavar="FILE",
+                           help="re-run a saved .sched file and verify "
+                                "the violation reproduces")
+    explore_p.add_argument("--list", action="store_true",
+                           dest="list_scenarios",
+                           help="print every registered scenario and exit")
     lint_p = sub.add_parser(
         "lint", help="run the csar-lint static protocol checks")
     lint_p.add_argument("paths", nargs="*", default=["src"],
@@ -269,6 +383,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if ok else 1
     if args.command == "lint":
         return _cmd_lint(args.paths, args.fmt, args.list_rules)
+    if args.command == "explore":
+        return _cmd_explore(args.scenario, args.strategy, args.budget,
+                            args.depth, args.seed, args.smoke,
+                            args.sched_dir, args.replay_path,
+                            args.list_scenarios)
     if args.command == "profile":
         return _cmd_profile(args.experiment, args.scale, args.top,
                             args.sort)

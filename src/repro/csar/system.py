@@ -57,6 +57,8 @@ class System:
         if config.background_flusher:
             for node in self.server_nodes:
                 node.cache.start_flusher()
+        if self.env.paritysan is not None:
+            self.env.paritysan.attach(self)
 
     # ------------------------------------------------------------------
     # running
@@ -75,6 +77,10 @@ class System:
             raise ConfigError("System.run() needs at least one process")
         done = self.env.all_of(procs)
         values = self.env.run(until=done)
+        if self.env.paritysan is not None:
+            # The awaited processes finished and nothing user-visible is
+            # in flight: the redundancy invariants must hold right now.
+            self.env.paritysan.on_quiescent()
         return values[-1] if len(values) == 1 else values
 
     def timed(self, *processes) -> tuple[float, Any]:

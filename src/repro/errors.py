@@ -72,3 +72,8 @@ class DeadlockError(LockSanError):
     """LockSan found a wait-for cycle among parity-lock waiters: the
     simulation would hang.  Raised *before* the hang, naming the
     processes involved."""
+
+
+class ParitySanError(ReproError):
+    """The ParitySan runtime sanitizer observed a redundancy-invariant
+    violation (see :mod:`repro.analysis.paritysan`)."""

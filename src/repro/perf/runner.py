@@ -95,14 +95,38 @@ def _portable_exception(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _run_point(point: SweepPoint, sanitize: bool = False) -> SweepResult:
+def sanitize_modes(sanitize: "str | bool | None") -> "tuple[bool, bool]":
+    """Decode a ``--sanitize`` value into ``(locksan, paritysan)`` flags.
+
+    Accepts the CLI strings ``"lock"`` / ``"parity"`` / ``"all"`` plus the
+    legacy booleans (``True`` meant LockSan only).
+    """
+    if not sanitize:
+        return False, False
+    if sanitize is True or sanitize == "lock":
+        return True, False
+    if sanitize == "parity":
+        return False, True
+    if sanitize == "all":
+        return True, True
+    raise ValueError(f"unknown sanitize mode {sanitize!r} "
+                     "(expected lock|parity|all)")
+
+
+def _run_point(point: SweepPoint,
+               sanitize: "str | bool | None" = False) -> SweepResult:
     """Execute one point in the current process (the worker body)."""
     from repro.sim import engine
 
-    if sanitize:
+    want_lock, want_parity = sanitize_modes(sanitize)
+    if want_lock:
         from repro.analysis import locksan
         if not locksan.installed():
             locksan.install()
+    if want_parity:
+        from repro.analysis import paritysan
+        if not paritysan.installed():
+            paritysan.install()
 
     envs: List[object] = []
     previous = engine.env_observer()
@@ -139,9 +163,12 @@ def _run_point(point: SweepPoint, sanitize: bool = False) -> SweepResult:
         counters["sim_time"] += stats["now"]
 
     reports: List[str] = []
-    if sanitize:
+    if want_lock:
         from repro.analysis import locksan
-        reports = [r.format() for r in locksan.drain_reports()]
+        reports += [r.format() for r in locksan.drain_reports()]
+    if want_parity:
+        from repro.analysis import paritysan
+        reports += [r.format() for r in paritysan.drain_reports()]
     return SweepResult(point=point, table=table, wall=wall,
                        counters=counters, error=error,
                        sanitizer_reports=reports)
@@ -157,7 +184,7 @@ def _mp_context():
 
 
 def run_sweep(points: Sequence[SweepPoint], jobs: int = 1,
-              sanitize: bool = False) -> List[SweepResult]:
+              sanitize: "str | bool | None" = False) -> List[SweepResult]:
     """Run every point; results in submission order.
 
     ``jobs <= 1`` runs sequentially in-process (identical to the classic

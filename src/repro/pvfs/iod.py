@@ -131,7 +131,7 @@ class IOD:
         if isinstance(request, msg.GroupLockReq):
             # The release arrives as a separate GroupUnlockReq message;
             # the lock is protocol-carried, not scoped to this handler.
-            yield from self.locks.acquire(  # csar-lint: disable=CSAR001
+            yield from self.locks.acquire(  # csar-lint: disable=CSAR001,CSAR008
                 request.file, request.group, request.xid)
             return msg.Response()
         if isinstance(request, msg.GroupUnlockReq):

@@ -88,7 +88,8 @@ class ParityLockTable:
         self.total_wait_time += self.env.now - t0
         self._held[key] = request
         if san is not None:
-            san.on_acquired(file, group, xid, self._proc_name())
+            san.on_acquired(file, group, xid, self._proc_name(),
+                            now=self.env.now)
 
     def release(self, file: str, group: int, xid: int) -> None:
         """Release after the parity write; no-op when locking is off."""

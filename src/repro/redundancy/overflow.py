@@ -155,6 +155,50 @@ class OverflowTable:
         return data_parts, reads
 
     # ------------------------------------------------------------------
+    def check_invariants(self) -> List[str]:
+        """Structural self-check (ParitySan's content-free oracle).
+
+        Verifies that slots shadow — never alias — each other and their
+        home blocks: every slot sits on its own block-aligned offset
+        inside the allocated region, valid bytes stay inside the slot,
+        and every currently-covered byte has a providing slot.
+        """
+        issues: List[str] = []
+        bs = self.block_size
+        seen_offsets: set = set()
+        for block, versions in self._slots.items():
+            for slot in versions:
+                if slot.offset % bs != 0 \
+                        or not 0 <= slot.offset < max(self.next_offset, 1):
+                    issues.append(
+                        f"slot for block {block} at unaligned or "
+                        f"out-of-region offset {slot.offset}")
+                if slot.offset in seen_offsets:
+                    issues.append(
+                        f"slot offset {slot.offset} allocated twice "
+                        "(two versions alias the same storage)")
+                seen_offsets.add(slot.offset)
+                for ext in slot.valid:
+                    if ext.start < 0 or ext.end > bs:
+                        issues.append(
+                            f"slot for block {block} marks bytes "
+                            f"[{ext.start}, {ext.end}) outside the "
+                            f"block size {bs}")
+        for ext in self.covered:
+            try:
+                gaps, _reads = self.resolve(ext.start, ext.end)
+            except AssertionError:
+                issues.append(
+                    f"covered range [{ext.start}, {ext.end}) has no "
+                    "providing slot")
+                continue
+            if gaps:
+                issues.append(
+                    f"covered range [{ext.start}, {ext.end}) resolves "
+                    "with gaps")
+        return issues
+
+    # ------------------------------------------------------------------
     @property
     def live_bytes(self) -> int:
         """Bytes an ideal byte-granular compaction would keep."""

@@ -42,10 +42,24 @@ class Raid5(base.RedundancyScheme):
     # ------------------------------------------------------------------
     def write(self, client, meta, offset: int,
               payload: Payload) -> Generator[Event, Any, None]:
-        if self.config.strict_locking and self.config.locking:
-            yield from self._strict_write(client, meta, offset, payload)
-        else:
-            yield from self._write_inner(client, meta, offset, payload)
+        paritysan = client.env.paritysan
+        if paritysan is not None:
+            paritysan.on_write_start(meta.name)
+        try:
+            if self.config.strict_locking and self.config.locking:
+                yield from self._strict_write(client, meta, offset, payload)
+            else:
+                yield from self._write_inner(client, meta, offset, payload)
+        finally:
+            if paritysan is not None:
+                paritysan.on_write_complete(meta.name)
+
+    def _rmw_unlock(self, own_lock: bool) -> bool:
+        """Whether the RMW's closing ParityWriteReq releases the group
+        lock it took.  A seam for fault-injecting subclasses
+        (:mod:`repro.analysis.seeded_bugs`); real schemes always
+        release what they acquired."""
+        return own_lock
 
     def _strict_write(self, client, meta, offset: int,
                       payload: Payload) -> Generator[Event, Any, None]:
@@ -278,7 +292,7 @@ class Raid5(base.RedundancyScheme):
         calls.append(client.rpc(client.iods[p_server], msg.ParityWriteReq(
             meta.name, group=group, local_offset=p_local,
             intra=(intra_lo, intra_hi), payload=new_parity,
-            unlock=own_lock, xid=xid)))
+            unlock=self._rmw_unlock(own_lock), xid=xid)))
         targets.append(p_server)
         yield from self._tolerant_parallel(client, targets, calls)
 

@@ -78,6 +78,8 @@ def rebuild_server(system, index: int,
         for c in system.clients:
             c.suspected.discard(index)
     system.metrics.add("failures.rebuilt")
+    if system.env.paritysan is not None:
+        system.env.paritysan.on_recovery(index)
 
 
 def _rebuild_file(system, client, iod: IOD,

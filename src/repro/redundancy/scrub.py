@@ -207,12 +207,16 @@ def scrub(system, name: str) -> List[str]:
         raise ConfigError("scrub needs content_mode=True")
     scheme = _scheme_of(system, name)
     if scheme == "raid0":
-        return []
-    if scheme == "raid1":
-        return check_mirrors(system, name)
-    if scheme == "raid5":
-        return check_parity(system, name)
-    if scheme == "hybrid":
-        return check_parity(system, name) + check_overflow_mirrors(system,
-                                                                   name)
-    raise ConfigError(f"unknown scheme {scheme!r}")
+        issues: List[str] = []
+    elif scheme == "raid1":
+        issues = check_mirrors(system, name)
+    elif scheme == "raid5":
+        issues = check_parity(system, name)
+    elif scheme == "hybrid":
+        issues = check_parity(system, name) \
+            + check_overflow_mirrors(system, name)
+    else:
+        raise ConfigError(f"unknown scheme {scheme!r}")
+    if system.env.paritysan is not None:
+        system.env.paritysan.on_scrub(name, issues)
+    return issues

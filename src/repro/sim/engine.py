@@ -67,6 +67,42 @@ def sanitizer_factory() -> Optional[Callable[[], Any]]:
     return _sanitizer_factory
 
 
+#: Optional factory installed by :func:`repro.analysis.paritysan.install`;
+#: called once per new :class:`Environment` to build its parity-invariant
+#: sanitizer (kept separate from the lock sanitizer so the two can be
+#: enabled independently).
+_paritysan_factory: Optional[Callable[[], Any]] = None
+
+
+def set_paritysan_factory(factory: Optional[Callable[[], Any]]) -> None:
+    """Install (or, with ``None``, remove) the ParitySan factory."""
+    global _paritysan_factory
+    _paritysan_factory = factory
+
+
+def paritysan_factory() -> Optional[Callable[[], Any]]:
+    return _paritysan_factory
+
+
+#: Optional factory for a tie-break scheduler (schedule exploration,
+#: :mod:`repro.analysis.explore`): called once per new
+#: :class:`Environment`; the returned object's ``choose(when, priority,
+#: events)`` picks which same-``(time, priority)`` event to dispatch
+#: next.  ``None`` (the default) keeps the deterministic seq order and
+#: the zero-overhead dispatch loops.
+_tie_breaker_factory: Optional[Callable[[], Any]] = None
+
+
+def set_tie_breaker_factory(factory: Optional[Callable[[], Any]]) -> None:
+    """Install (or, with ``None``, remove) the tie-breaker factory."""
+    global _tie_breaker_factory
+    _tie_breaker_factory = factory
+
+
+def tie_breaker_factory() -> Optional[Callable[[], Any]]:
+    return _tie_breaker_factory
+
+
 #: Optional callback invoked with every new :class:`Environment`; used by
 #: ``csar-repro profile`` to aggregate kernel counters across the
 #: environments an experiment creates.  Costs one ``None``-check per
@@ -391,6 +427,14 @@ class Environment:
         #: LockSan (or compatible) sanitizer; ``None`` unless installed.
         self.sanitizer: Optional[Any] = (
             _sanitizer_factory() if _sanitizer_factory is not None else None)
+        #: ParitySan (or compatible) invariant sanitizer.
+        self.paritysan: Optional[Any] = (
+            _paritysan_factory() if _paritysan_factory is not None else None)
+        #: Tie-break scheduler for schedule exploration; ``None`` keeps
+        #: deterministic seq order.
+        self._tie_breaker: Optional[Any] = (
+            _tie_breaker_factory() if _tie_breaker_factory is not None
+            else None)
         if _env_observer is not None:
             _env_observer(self)
 
@@ -467,6 +511,8 @@ class Environment:
         at millions of events per figure the method call and the callback
         loop for callback-less timeouts are the dominant constant costs.
         """
+        if self._tie_breaker is not None:
+            return self._run_explored(until)
         heap = self._heap
         pop = heapq.heappop
         if isinstance(until, Event):
@@ -515,8 +561,91 @@ class Environment:
                 raise event._value
         if deadline != float("inf"):
             self._now = deadline
-        if not heap and self.sanitizer is not None:
-            # The heap drained: nothing can ever release a held lock
-            # now, so any lock still held has leaked.
-            self.sanitizer.on_run_complete()
+        if not heap:
+            # The heap drained: nothing can ever release a held lock or
+            # patch a stripe now, so leaks/inconsistencies are final.
+            if self.sanitizer is not None:
+                self.sanitizer.on_run_complete()
+            if self.paritysan is not None:
+                self.paritysan.on_run_complete()
+        return None
+
+    # -- schedule exploration ---------------------------------------------
+    def _step_tie(self) -> None:
+        """One dispatch under the tie-break scheduler.
+
+        Pops the whole same-``(time, priority)`` group, asks the
+        tie-breaker which *observable* member fires first, dispatches it
+        and pushes the rest back under their original keys.  Events with
+        no live callbacks commute (their value is already set and nobody
+        is subscribed), so they never consume a decision — a sleep-set
+        style pruning of the permutation space.
+        """
+        heap = self._heap
+        entry = heapq.heappop(heap)
+        when, prio = entry[0], entry[1]
+        group = [entry]
+        while heap and heap[0][0] == when and heap[0][1] == prio:
+            group.append(heapq.heappop(heap))
+        chosen = 0
+        if len(group) > 1:
+            observable = [
+                i for i, e in enumerate(group)
+                if e[3].callbacks
+                and any(cb is not None for cb in e[3].callbacks)]
+            if len(observable) > 1:
+                pick = self._tie_breaker.choose(
+                    when, prio, [group[i][3] for i in observable])
+                if pick is not None:
+                    chosen = observable[pick]
+            for i, e in enumerate(group):
+                if i != chosen:
+                    heapq.heappush(heap, e)
+        event = group[chosen][3]
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                if callback is not None:
+                    callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def _run_explored(self, until: "float | Event | None" = None) -> Any:
+        """:meth:`run` under a tie-break scheduler (same semantics,
+        decision points injected at same-timestamp ties)."""
+        heap = self._heap
+        if isinstance(until, Event):
+            stop = until
+            if stop.callbacks is None:  # already processed
+                if stop._ok:
+                    return stop._value
+                stop._defused = True
+                raise stop._value
+            done: List[Event] = []
+            stop.callbacks.append(done.append)
+            while heap and not done:
+                self._step_tie()
+            if not done:
+                raise SimulationError(
+                    "simulation ended before the awaited event triggered "
+                    "(deadlock: a process is waiting on something that "
+                    "can never happen)")
+            if stop._ok:
+                return stop._value
+            stop._defused = True
+            raise stop._value
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise SimulationError("run(until) is in the past")
+        while heap and heap[0][0] <= deadline:
+            self._step_tie()
+        if deadline != float("inf"):
+            self._now = deadline
+        if not heap:
+            if self.sanitizer is not None:
+                self.sanitizer.on_run_complete()
+            if self.paritysan is not None:
+                self.paritysan.on_run_complete()
         return None

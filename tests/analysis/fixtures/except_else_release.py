@@ -1,0 +1,33 @@
+"""csar-lint fixture: CSAR001 regression — release in except + else.
+
+Never imported — parsed by tests/analysis/test_lint.py.  No ``# expect``
+comments on purpose: every function here is *correct* and must lint
+clean.  The old try/finally-shape heuristic flagged
+``release_in_else_branch`` (it looked for a release inside a handler or
+finally block and found neither); the CFG engine proves every path
+drops the lock: the interrupt path never acquired (the table cancels
+its own request), the success path releases in ``else`` before any
+further yield.
+"""
+
+
+def release_in_else_branch(table, env, xid) -> "Generator[Event, Any, None]":
+    try:
+        yield from table.acquire("f", 0, xid)
+    except Interrupt:
+        return
+    else:
+        table.release("f", 0, xid)
+    yield env.timeout(1.0)
+
+
+def release_in_handler_and_else(lock, env) -> "Generator[Event, Any, None]":
+    request = lock.request()
+    try:
+        yield request
+    except Exception:
+        lock.release(request)
+        raise
+    else:
+        yield env.timeout(1.0)
+        lock.release(request)

@@ -1,0 +1,47 @@
+"""csar-lint fixture: CSAR007 (lock-held-across-nonlock-yield).
+
+Never imported — parsed by tests/analysis/test_lint.py.  Holding a
+parity lock across long-latency link/disk I/O stretches the
+serialization window (the paper's ~20% locking cost); holding it across
+a timeout (hold-duration modeling) or the RMW's own ``fs.read`` is
+deliberate and clean.
+"""
+
+
+def rpc_under_lock(table, net, env, xid) -> "Generator[Event, Any, None]":
+    yield from table.acquire("f", 0, xid)
+    try:
+        yield net.rpc("server-1", b"payload")  # expect: CSAR007
+    finally:
+        table.release("f", 0, xid)
+
+
+def transfer_under_lock(table, link, env,
+                        xid) -> "Generator[Event, Any, None]":
+    yield from table.acquire("f", 2, xid)
+    try:
+        yield env.timeout(0.5)
+        yield from link.transfer(1 << 20)  # expect: CSAR007
+    finally:
+        table.release("f", 2, xid)
+
+
+def rmw_window_is_clean(table, fs, env, xid) -> "Generator[Event, Any, None]":
+    # The read-modify-write window: local disk I/O under the lock is the
+    # protocol, not a smell.
+    yield from table.acquire("f", 1, xid)
+    try:
+        old = yield from fs.read("f.red", 0, 4096)
+        yield from fs.write("f.red", 0, old)
+    finally:
+        table.release("f", 1, xid)
+
+
+def rpc_after_release_is_clean(table, net, env,
+                               xid) -> "Generator[Event, Any, None]":
+    yield from table.acquire("f", 4, xid)
+    try:
+        yield env.timeout(0.1)
+    finally:
+        table.release("f", 4, xid)
+    yield net.rpc("server-2", b"done")

@@ -1,0 +1,30 @@
+"""csar-lint fixture: CSAR009 (overflow-write-in-place).
+
+Never imported — parsed by tests/analysis/test_lint.py.  Lives under a
+``redundancy/`` directory because CSAR009 is scoped to redundancy
+modules and to functions named ``*overflow*``: a hybrid overflow path
+must never write partial-stripe data to the home location.
+"""
+
+
+def write_overflow_in_place(msg, sr, env) -> "Generator[Event, Any, None]":
+    req = msg.WriteReq(sr.name, offset=sr.start,  # expect: CSAR009
+                       payload=sr.payload, kind="data")
+    yield sr.server.send(req)
+
+
+def write_overflow_via_home_file(fs, name, start,
+                                 payload) -> "Generator[Event, Any, None]":
+    yield from fs.write(data_file(name), start, payload)  # expect: CSAR009
+
+
+def write_overflow_correctly(msg, sr, env) -> "Generator[Event, Any, None]":
+    # OverflowWriteReq targets the overflow region: clean.
+    req = msg.OverflowWriteReq(sr.name, ranges=sr.ranges,
+                               payload=sr.payload)
+    yield sr.server.send(req)
+
+
+def rebuild_overflow_file(fs, name, blob) -> "Generator[Event, Any, None]":
+    # Recovery writes the overflow file itself, not the home location.
+    yield from fs.write(f"{name}.ovf", 0, blob)

@@ -141,10 +141,12 @@ class TestRuleEdges:
             "    yield 42\n")
         findings = lint.lint_source(source, path="mod.py")
         payload = json.loads(lint.format_json(findings))
-        assert payload[0]["code"] == "CSAR003"
-        assert payload[0]["path"] == "mod.py"
-        assert payload[0]["line"] == 2
-        assert payload[0]["fixit"]
+        assert payload["schema_version"] == lint.LINT_SCHEMA_VERSION
+        items = payload["findings"]
+        assert items[0]["code"] == "CSAR003"
+        assert items[0]["path"] == "mod.py"
+        assert items[0]["line"] == 2
+        assert items[0]["fixit"]
 
     def test_format_text_counts(self):
         source = (
@@ -178,7 +180,9 @@ class TestCli:
         assert main(["lint", str(FIXTURES / "bad_yields.py"),
                      "--format=json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert all(item["code"] == "CSAR003" for item in payload)
+        assert payload["schema_version"] == 1
+        assert all(item["code"] == "CSAR003"
+                   for item in payload["findings"])
 
     def test_lint_missing_path_exits_two(self, capsys):
         from repro.cli import main

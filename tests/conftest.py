@@ -1,10 +1,13 @@
-"""Test-suite plumbing: optional LockSan sanitization.
+"""Test-suite plumbing: optional LockSan / ParitySan sanitization.
 
 Run any part of the suite with ``CSAR_LOCKSAN=1`` to attach the LockSan
 lock-protocol sanitizer (:mod:`repro.analysis.locksan`) to every
-:class:`Environment` the tests create.  An autouse fixture then fails
-any test whose simulations produced sanitizer reports — except tests
-marked ``locksan_expected``, which intentionally violate the protocol.
+:class:`Environment` the tests create, and/or ``CSAR_PARITYSAN=1`` to
+attach the ParitySan redundancy-invariant sanitizer
+(:mod:`repro.analysis.paritysan`).  Autouse fixtures then fail any test
+whose simulations produced sanitizer reports — except tests marked
+``locksan_expected`` / ``paritysan_expected``, which intentionally
+violate the respective invariants.
 """
 
 import os
@@ -16,15 +19,27 @@ def _locksan_requested() -> bool:
     return os.environ.get("CSAR_LOCKSAN", "") not in ("", "0")
 
 
+def _paritysan_requested() -> bool:
+    return os.environ.get("CSAR_PARITYSAN", "") not in ("", "0")
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "locksan_expected: the test intentionally triggers LockSan "
         "reports; the zero-report check is skipped")
+    config.addinivalue_line(
+        "markers",
+        "paritysan_expected: the test intentionally triggers ParitySan "
+        "reports; the zero-report check is skipped")
     if _locksan_requested():
         from repro.analysis import locksan
 
         locksan.install()
+    if _paritysan_requested():
+        from repro.analysis import paritysan
+
+        paritysan.install()
 
 
 def pytest_unconfigure(config):
@@ -32,6 +47,10 @@ def pytest_unconfigure(config):
         from repro.analysis import locksan
 
         locksan.uninstall()
+    if _paritysan_requested():
+        from repro.analysis import paritysan
+
+        paritysan.uninstall()
 
 
 @pytest.fixture(autouse=True)
@@ -49,3 +68,20 @@ def _locksan_zero_reports(request):
             "locksan_expected") is None:
         lines = "\n".join(r.format() for r in reports)
         pytest.fail(f"LockSan reports:\n{lines}")
+
+
+@pytest.fixture(autouse=True)
+def _paritysan_zero_reports(request):
+    """With ParitySan installed, assert each test ends report-free."""
+    if not _paritysan_requested():
+        yield
+        return
+    from repro.analysis import paritysan
+
+    paritysan.drain_reports()  # isolate from previous test
+    yield
+    reports = paritysan.drain_reports()
+    if reports and request.node.get_closest_marker(
+            "paritysan_expected") is None:
+        lines = "\n".join(r.format() for r in reports)
+        pytest.fail(f"ParitySan reports:\n{lines}")

@@ -158,6 +158,27 @@ class TestDeadlock:
         assert len(deadlocks) == 1
         assert set(deadlocks[0].processes) == {"c1", "c2"}
 
+    def test_deadlock_report_lists_held_locks_with_times(self, env):
+        # The report must name what each participant already holds (and
+        # when it took it), not just who is in the cycle — that's the
+        # actionable half of a deadlock diagnosis.
+        table = ParityLockTable(env)
+
+        def client(xid, delay, first, second):
+            yield env.timeout(delay)
+            yield from table.acquire("f", first, xid=xid)
+            yield env.timeout(1.0)
+            yield from table.acquire("f", second, xid=xid)
+
+        env.process(client(1, 0.0, 3, 5), name="c1")
+        env.process(client(2, 0.25, 5, 3), name="c2")
+        with pytest.raises(DeadlockError) as exc:
+            env.run()
+        message = str(exc.value)
+        assert "held:" in message
+        assert "c1(xid 1) holds [f:3 (acquired t=0)]" in message
+        assert "c2(xid 2) holds [f:5 (acquired t=0.25)]" in message
+
     def test_cross_table_cycle_detected(self, env):
         # Each group's parity lives on a different server (its own
         # ParityLockTable); the wait-for graph must span tables.

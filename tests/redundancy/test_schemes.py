@@ -233,6 +233,7 @@ class TestConcurrency:
         # Rewrite block 0 concurrently with nothing; then scrub.
         assert scrub.check_parity(system, "f") == []
 
+    @pytest.mark.paritysan_expected
     def test_disjoint_writers_without_locking_corrupt_parity(self):
         # The R5 NO LOCK configuration from Fig 3: same traffic, but
         # concurrent read-modify-writes race on the parity block.

@@ -4,6 +4,10 @@ states — these tests inject damage directly into server state."""
 import pytest
 
 from repro import CSARConfig, Payload, System
+
+# These tests corrupt server state and then scrub it; under
+# CSAR_PARITYSAN=1 the scrub hook records those (intended) findings.
+pytestmark = pytest.mark.paritysan_expected
 from repro.errors import ConfigError
 from repro.pvfs.iod import data_file, ovf_file, red_file
 from repro.redundancy import scrub

@@ -43,6 +43,7 @@ def overlapping_writers(system, rounds=4):
 
 
 class TestStrictLocking:
+    @pytest.mark.paritysan_expected
     def test_overlapping_writers_corrupt_parity_without_strict(self):
         # Demonstrates the gap the paper acknowledges: concurrent
         # overlapping writes leave RAID5 parity inconsistent.
