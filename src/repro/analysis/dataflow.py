@@ -85,6 +85,17 @@ class LockToken:
     release_sites: List[ast.Call] = field(default_factory=list)
     #: any matching release lives in an except handler or finally block
     release_in_cleanup: bool = False
+    #: acquired by a callee (interprocedural mode), not a lexical
+    #: primitive call — ``call`` is then the helper call site
+    derived: bool = False
+    #: witness chain below this site: (qname, path, line) per hop
+    chain: Tuple = ()
+    #: derived token with no local release: the callee hands the lock
+    #: to the surrounding protocol (message-carried release); excluded
+    #: from rule participation but still exported in summaries
+    handoff: bool = False
+    #: ownership returned to the caller (``return request``)
+    returned: bool = False
 
 
 def _arg_texts(call: ast.Call) -> Tuple[str, ...]:
@@ -147,17 +158,39 @@ class LockAnalysis:
       pairs for CSAR007.
     """
 
-    def __init__(self, func: ast.FunctionDef) -> None:
+    def __init__(self, func: ast.FunctionDef, interproc=None) -> None:
         self.func = func
+        self.interproc = interproc
         self.cfg = build_cfg(func)
         self.tokens: List[LockToken] = []
         self._token_of_call: Dict[int, LockToken] = {}  # id(call) -> token
+        #: id(call) -> CallSiteEffects from the interproc context
+        self._call_effects: Dict[int, object] = {}
+        #: id(call) -> derived tokens created for that call site
+        self._derived_of_call: Dict[int, List[LockToken]] = {}
+        #: releases matching no local token, exported to summaries:
+        #: (receiver text, arg texts, id(enclosing stmt), certain)
+        self.unmatched_releases: List[Tuple[str, Tuple[str, ...],
+                                            int, bool]] = []
+        self._assigned_var: Dict[int, str] = {}
         self._collect_tokens()
+        if interproc is not None:
+            self._collect_derived_tokens()
         self._match_releases_and_escapes()
+        if interproc is not None:
+            self._match_callee_releases()
+        self._mark_returns()
+        self._mark_handoffs()
         #: per statement object: ordered (op, token id) effects
         self._effects: Dict[int, List[Tuple[str, int]]] = {}
+        self._effects_done: Set[int] = set()
         self._collect_effects()
         self.facts = run_forward(self.cfg, self._transfer)
+
+    def call_effect_of(self, call: ast.Call):
+        """The substituted callee summary applied at ``call`` (interproc
+        mode only; ``None`` when the call contributes nothing)."""
+        return self._call_effects.get(id(call))
 
     # -- token discovery ------------------------------------------------
     def _collect_tokens(self) -> None:
@@ -167,11 +200,17 @@ class LockAnalysis:
                 for item in node.items:
                     for sub in ast.walk(item.context_expr):
                         guarded_calls.add(id(sub))
-        assigned_var: Dict[int, str] = {}
+        assigned_var = self._assigned_var
         for node in self._walk_function():
             if isinstance(node, ast.Assign) and len(node.targets) == 1 \
                     and isinstance(node.targets[0], ast.Name):
-                assigned_var[id(node.value)] = node.targets[0].id
+                value = node.value
+                # ``req = yield from helper()`` binds the helper's
+                # return value, so the call is the assignment source.
+                if isinstance(value, (ast.Yield, ast.YieldFrom)) \
+                        and value.value is not None:
+                    value = value.value
+                assigned_var[id(value)] = node.targets[0].id
         for node in self._walk_function():
             if not isinstance(node, ast.Call):
                 continue
@@ -202,6 +241,102 @@ class LockAnalysis:
             if isinstance(node, _SCOPES):
                 continue
             todo.extend(ast.iter_child_nodes(node))
+
+    # -- interprocedural tokens -----------------------------------------
+    def _collect_derived_tokens(self) -> None:
+        """One token per lock a confident callee may leave held."""
+        from repro.analysis.callgraph import PRIMITIVE_ATTRS, \
+            spawn_argument_calls
+        spawned = spawn_argument_calls(self.func)
+        for node in self._walk_function():
+            if not isinstance(node, ast.Call) or id(node) in spawned:
+                continue
+            if id(node) in self._token_of_call:
+                continue  # a raw primitive site, never a call-graph edge
+            if _call_attr(node) in PRIMITIVE_ATTRS:
+                continue
+            effects = self.interproc.call_effects(node)
+            if effects is None:
+                continue
+            self._call_effects[id(node)] = effects
+            for acq in effects.acquired:
+                token = LockToken(
+                    tid=len(self.tokens), call=node, kind=acq.kind,
+                    receiver=acq.key.receiver, args=acq.key.args,
+                    var=(self._assigned_var.get(id(node))
+                         if acq.returned else None),
+                    derived=True, chain=tuple(acq.chain))
+                self.tokens.append(token)
+                self._derived_of_call.setdefault(id(node), []) \
+                    .append(token)
+
+    def _match_callee_releases(self) -> None:
+        """Callee release effects count as release sites of local
+        tokens, exactly like lexical ``X.release(...)`` calls."""
+        cleanup_spans = self._cleanup_line_spans()
+        for node in self._walk_function():
+            if not isinstance(node, ast.Call):
+                continue
+            effects = self._call_effects.get(id(node))
+            if effects is None:
+                continue
+            for rel in effects.released:
+                for token in self._tokens_matching_key(
+                        rel.key.receiver, rel.key.args):
+                    token.release_sites.append(node)
+                    line = getattr(node, "lineno", 0)
+                    if any(lo <= line <= hi for lo, hi in cleanup_spans):
+                        token.release_in_cleanup = True
+
+    def _tokens_matching_key(self, receiver: str,
+                             args: Tuple[str, ...]) -> List[LockToken]:
+        """Local tokens a callee's release of (receiver, args) frees.
+
+        Mirrors :meth:`_tokens_released_by`: bound-variable matches,
+        then receiver matches with argument-exact ones preferred.
+        """
+        arg_names: Set[str] = set()
+        for text in args:
+            try:
+                arg_names |= _names_in(ast.parse(text, mode="eval"))
+            except SyntaxError:
+                pass
+        out = []
+        for token in self.tokens:
+            if token.guarded:
+                continue
+            if token.var is not None and (token.var in arg_names
+                                          or receiver == token.var):
+                out.append(token)
+            elif token.kind == "acquire" and receiver == token.receiver:
+                out.append(token)
+        exact = [t for t in out if t.kind == "acquire" and t.args == args]
+        if exact:
+            return exact + [t for t in out if t.kind != "acquire"]
+        return out
+
+    def _mark_returns(self) -> None:
+        """``return request`` transfers ownership to the caller."""
+        for node in self._walk_function():
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            if isinstance(node.value, ast.Name):
+                for token in self.tokens:
+                    if token.var == node.value.id:
+                        token.returned = True
+            elif isinstance(node.value, ast.Call):
+                token = self._token_of_call.get(id(node.value))
+                if token is not None:
+                    token.returned = True
+                for derived in self._derived_of_call.get(
+                        id(node.value), ()):
+                    derived.returned = True
+
+    def _mark_handoffs(self) -> None:
+        for token in self.tokens:
+            if token.derived and not token.release_sites \
+                    and not token.returned:
+                token.handoff = True
 
     # -- release / escape matching --------------------------------------
     def _match_releases_and_escapes(self) -> None:
@@ -296,9 +431,10 @@ class LockAnalysis:
             stmt = cfg_node.stmt
             if stmt is None or cfg_node.label != "stmt":
                 continue
-            effects = self._effects.setdefault(id(stmt), [])
-            if effects:
+            if id(stmt) in self._effects_done:
                 continue  # shared by finally copies; computed once
+            self._effects_done.add(id(stmt))
+            effects = self._effects.setdefault(id(stmt), [])
             kills: List[Tuple[str, int]] = []
             gens: List[Tuple[str, int]] = []
             for node in _own_stmt_nodes(stmt):
@@ -308,8 +444,36 @@ class LockAnalysis:
                 if token is not None and not token.guarded:
                     gens.append(("gen", token.tid))
                 if _call_attr(node) in _RELEASE_ATTRS:
-                    for released in self._tokens_released_by(node):
-                        kills.append(("kill", released.tid))
+                    released = self._tokens_released_by(node)
+                    for released_token in released:
+                        kills.append(("kill", released_token.tid))
+                    if not released:
+                        receiver = _receiver_text(node)
+                        if receiver is not None:
+                            self.unmatched_releases.append(
+                                (receiver, _arg_texts(node), id(stmt),
+                                 True))
+                for derived in self._derived_of_call.get(id(node), ()):
+                    # Hand-off tokens never enter the facts: the callee
+                    # owns the protocol, not this function's paths.
+                    if not derived.handoff:
+                        gens.append(("gen", derived.tid))
+                call_effects = self._call_effects.get(id(node))
+                if call_effects is not None:
+                    for rel in call_effects.released:
+                        matched = self._tokens_matching_key(
+                            rel.key.receiver, rel.key.args)
+                        if matched:
+                            # Only a release on every callee path frees
+                            # the token; a conditional one stays a
+                            # may-release (release_sites only).
+                            if rel.must:
+                                for token in matched:
+                                    kills.append(("kill", token.tid))
+                        else:
+                            self.unmatched_releases.append(
+                                (rel.key.receiver, rel.key.args,
+                                 id(stmt), rel.must))
             # Escapes drop the token where the hand-off happens.
             for token in self.tokens:
                 if token.escapes and self._stmt_escapes(stmt, token):
@@ -400,3 +564,40 @@ class LockAnalysis:
                     entry[1].update(held)
         return [(node, [self.tokens[tid] for tid in sorted(tids)])
                 for node, tids in seen.values()]
+
+    def acquire_order_pairs(self) -> List[Tuple[LockToken, LockToken,
+                                                ast.stmt]]:
+        """``(held, acquired, stmt)`` triples: an acquire-kind token
+        generated at ``stmt`` while another acquire-kind token may
+        already be held.  A token held across its own re-acquisition
+        (``held is acquired``) is a loop-carried pair — the loop body
+        acquires a fresh group each iteration while keeping the last.
+        Feeds the CSAR011 lock-order graph.
+        """
+        out: List[Tuple[LockToken, LockToken, ast.stmt]] = []
+        seen: Set[Tuple[int, int, int]] = set()
+        for cfg_node in self.cfg.nodes:
+            stmt = cfg_node.stmt
+            if stmt is None or cfg_node.label != "stmt":
+                continue
+            effects = self._effects.get(id(stmt))
+            if not effects:
+                continue
+            gen_tids = [tid for op, tid in effects if op == "gen"]
+            if not gen_tids:
+                continue
+            fact = self.facts.get(cfg_node.index) or frozenset()
+            for tid in gen_tids:
+                acquired = self.tokens[tid]
+                if acquired.kind != "acquire":
+                    continue
+                for held_tid in sorted(fact):
+                    held = self.tokens[held_tid]
+                    if held.kind != "acquire":
+                        continue
+                    key = (held_tid, tid, id(stmt))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append((held, acquired, stmt))
+        return out

@@ -43,6 +43,19 @@ from repro.errors import ReproError
 #: ``.sched`` file format version (bump on incompatible change).
 SCHED_SCHEMA_VERSION = 1
 
+#: LockSan order-inversion observations accumulated across every
+#: explored schedule: ``{"file", "group", "held_group"}`` dicts, the
+#: dynamic witnesses CSAR011 cross-references (see
+#: :func:`repro.analysis.lint.save_witnesses`).
+_WITNESSES: List[Dict[str, Any]] = []
+
+
+def drain_witnesses() -> List[Dict[str, Any]]:
+    """Collect (and clear) the dynamic lock-order witnesses."""
+    out = list(_WITNESSES)
+    _WITNESSES.clear()
+    return out
+
 
 # ----------------------------------------------------------------------
 # tie-breakers
@@ -313,6 +326,55 @@ def _scenario_buggy_lock_leak() -> None:
     system.run(body())
 
 
+@scenario("buggy-helper-release-leak",
+          "HelperReleaseRaid5 splits its lease acquire/release across "
+          "helpers and drops the second release: the third write blocks "
+          "on the leaked lease — the interprocedural leak CSAR010 flags",
+          seeded_bug=True)
+def _scenario_buggy_helper_release_leak() -> None:
+    from repro import CSARConfig, Payload, System
+    from repro.analysis import seeded_bugs
+
+    config = CSARConfig(scheme="raid5", num_servers=4, num_clients=1,
+                        stripe_unit=1024, content_mode=False,
+                        background_flusher=False)
+    system = seeded_bugs.inject(
+        System(config), seeded_bugs.HelperReleaseRaid5(config))
+    client = system.client()
+
+    def body():
+        yield from client.create("f")
+        for _ in range(3):  # third lease blocks on the one #2 leaked
+            yield from client.write("f", 0, Payload.virtual(512))
+
+    system.run(body())
+
+
+@scenario("buggy-lock-order",
+          "DescendingLockRaid5 takes its strict-write group locks "
+          "highest-first: LockSan witnesses the Section 5.1 "
+          "order-inversion CSAR011 flags statically",
+          seeded_bug=True)
+def _scenario_buggy_lock_order() -> None:
+    from repro import CSARConfig, Payload, System
+    from repro.analysis import seeded_bugs
+
+    config = CSARConfig(scheme="raid5", num_servers=4, num_clients=1,
+                        stripe_unit=1024, content_mode=False,
+                        background_flusher=False, strict_locking=True)
+    system = seeded_bugs.inject(
+        System(config), seeded_bugs.DescendingLockRaid5(config))
+    client = system.client()
+    span = system.layout.group_span
+
+    def body():
+        yield from client.create("f")
+        # Two full groups: the seeded _strict_write locks group 1 first.
+        yield from client.write("f", 0, Payload.virtual(2 * span))
+
+    system.run(body())
+
+
 @scenario("buggy-overflow-inplace",
           "InPlaceOverflowHybrid writes partial stripes onto the home "
           "blocks without a parity update: ParitySan flags stale parity",
@@ -364,6 +426,10 @@ def _run_schedule(scen: Scenario, tie_breaker) \
             violation = Violation(type(exc).__name__, str(exc))
         lock_reports = locksan.drain_reports()
         parity_reports = paritysan.drain_reports()
+        for r in lock_reports:
+            if r.kind == "order-inversion":
+                _WITNESSES.append({"file": r.file, "group": r.group,
+                                   "held_group": r.held_group})
     finally:
         engine.set_tie_breaker_factory(None)
         locksan.uninstall()
@@ -464,15 +530,20 @@ def replay(record: "ScheduleRecord | str") -> Tuple[bool, Optional[Violation]]:
 
 def explore_smoke(budget: int = 64, depth: int = 12,
                   sched_dir: Optional[str] = None,
+                  witness_path: Optional[str] = None,
                   ) -> List[ExplorationResult]:
     """CI gate: every seeded-bug scenario must violate within budget.
 
     Each violation is additionally replayed from its own record to prove
     the ``.sched`` round-trip is deterministic.  Raises
-    :class:`AssertionError` on any miss, so the job fails loudly.
+    :class:`AssertionError` on any miss, so the job fails loudly.  When
+    ``witness_path`` is given, every LockSan order-inversion observed
+    during the sweep is saved there for CSAR011 cross-referencing
+    (``csar-repro lint --witnesses``).
     """
     import os
 
+    drain_witnesses()  # start the sweep with a clean witness slate
     results: List[ExplorationResult] = []
     for scen in smoke_scenarios():
         result = explore(scen.name, strategy="dfs", budget=budget,
@@ -491,4 +562,8 @@ def explore_smoke(budget: int = 64, depth: int = 12,
             os.makedirs(sched_dir, exist_ok=True)
             save_schedule(result.record,
                           os.path.join(sched_dir, f"{scen.name}.sched"))
+    if witness_path is not None:
+        from repro.analysis import lint
+
+        lint.save_witnesses(drain_witnesses(), witness_path)
     return results

@@ -103,6 +103,11 @@ class Finding:
     col: int
     code: str
     message: str
+    #: cross-reference to a dynamic observation (CSAR011: the LockSan
+    #: order-inversion witness, if the explorer recorded one); excluded
+    #: from baseline identity so witness availability never churns a
+    #: committed baseline
+    witness: str = ""
 
     @property
     def fixit(self) -> str:
@@ -110,8 +115,11 @@ class Finding:
         return rule.fixit if rule else ""
 
     def format(self) -> str:
-        return (f"{self.path}:{self.line}:{self.col}: {self.code} "
+        text = (f"{self.path}:{self.line}:{self.col}: {self.code} "
                 f"{self.message}")
+        if self.witness:
+            text += f" ({self.witness})"
+        return text
 
 
 # ----------------------------------------------------------------------
@@ -217,12 +225,16 @@ class FileLinter:
     """Run every enabled rule over one parsed module."""
 
     def __init__(self, path: str, source: str,
-                 enable: Optional[Iterable[str]] = None) -> None:
+                 enable: Optional[Iterable[str]] = None,
+                 program=None) -> None:
         self.path = path
         self.source = source
         self.enable = set(enable) if enable is not None else set(all_codes())
         self.findings: List[Finding] = []
         self._supp = _suppressions(source)
+        #: whole-program state (repro.analysis.summaries.Program) when
+        #: linting interprocedurally; None for the classic intra pass
+        self.program = program
 
     # -- plumbing -------------------------------------------------------
     def _report(self, code: str, node: ast.AST, message: str) -> None:
@@ -236,14 +248,18 @@ class FileLinter:
 
     # -- entry point ----------------------------------------------------
     def run(self) -> List[Finding]:
-        try:
-            tree = ast.parse(self.source, filename=self.path)
-        except SyntaxError as err:
-            line = err.lineno or 1
-            self.findings.append(Finding(
-                self.path, line, err.offset or 0, "CSAR000",
-                f"syntax error: {err.msg}"))
-            return self.findings
+        # Reuse the whole-program parse when there is one: the
+        # interprocedural context is keyed by AST node identity.
+        tree = self.program.tree_for(self.path) if self.program else None
+        if tree is None:
+            try:
+                tree = ast.parse(self.source, filename=self.path)
+            except SyntaxError as err:
+                line = err.lineno or 1
+                self.findings.append(Finding(
+                    self.path, line, err.offset or 0, "CSAR000",
+                    f"syntax error: {err.msg}"))
+                return self.findings
         sim_scoped = self._is_sim_scoped()
         for node in ast.walk(tree):
             if isinstance(node, ast.FunctionDef):
@@ -290,13 +306,23 @@ class FileLinter:
         ("rpc", "get", "stream", "transfer", "send", "recv"))
 
     def _check_lock_dataflow(self, func: ast.FunctionDef) -> None:
-        analysis = LockAnalysis(func)
+        ctx = self.program.context_for(func) if self.program else None
+        analysis = LockAnalysis(func, interproc=ctx)
         if not analysis.tokens:
             return
         held_exit = analysis.held_at_exit()
         held_raise = analysis.held_at_raise()
+        caller = ctx.info if ctx is not None else None
         for token in analysis.tokens:
             if token.guarded or token.escapes:
+                continue
+            if token.derived:
+                self._check_derived_token(token, held_exit, held_raise,
+                                          caller)
+                continue
+            if ctx is not None and token.returned:
+                # ``return request``: ownership transfers to the caller,
+                # whose own analysis carries the release obligation.
                 continue
             call = token.call
             desc = ast.unparse(call.func)
@@ -328,16 +354,53 @@ class FileLinter:
                 name = value.func.attr
             elif isinstance(value.func, ast.Name):
                 name = value.func.id
-            if name not in self._IO_YIELD_NAMES:
-                continue
             locks = ", ".join(sorted(
                 f"{t.receiver}.{_ACQUIRE_ATTRS[0]}({', '.join(t.args)})"
                 for t in held))
+            if name in self._IO_YIELD_NAMES:
+                self._report(
+                    "CSAR007", yield_node,
+                    f"yield on {ast.unparse(value.func)}() while holding "
+                    f"{locks} — parity lock held across non-lock I/O "
+                    f"[fix: {RULES['CSAR007'].fixit}]")
+                continue
+            effects = analysis.call_effect_of(value)
+            if effects is not None and effects.io_yield:
+                self._report(
+                    "CSAR007", yield_node,
+                    f"yield from {ast.unparse(value.func)}() which "
+                    f"transitively yields on long-latency I/O, while "
+                    f"holding {locks} — parity lock held across "
+                    "non-lock I/O via a callee "
+                    f"[fix: {RULES['CSAR007'].fixit}]")
+
+    # -- CSAR010 (interprocedural lock leak) ----------------------------
+    def _check_derived_token(self, token, held_exit, held_raise,
+                             caller) -> None:
+        if token.handoff:
+            # No local release at all: the callee hands the lock to the
+            # surrounding message protocol (e.g. the iod dispatch loop).
+            return
+        call = token.call
+        desc = ast.unparse(call.func)
+        key = f"{token.receiver}.acquire({', '.join(token.args)})"
+        chain = _format_chain(
+            ((caller.qname, caller.path, call.lineno),) if caller
+            else (), token.chain)
+        if token.tid in held_exit:
             self._report(
-                "CSAR007", yield_node,
-                f"yield on {ast.unparse(value.func)}() while holding "
-                f"{locks} — parity lock held across non-lock I/O "
-                f"[fix: {RULES['CSAR007'].fixit}]")
+                "CSAR010", call,
+                f"call chain through {desc}() can exit with {key} still "
+                f"held (net-positive lock delta): acquired via {chain}, "
+                "but no caller path guarantees the release "
+                f"[fix: {RULES['CSAR010'].fixit}]")
+        elif token.tid in held_raise and not token.release_in_cleanup:
+            self._report(
+                "CSAR010", call,
+                f"call chain through {desc}() leaks {key} on an "
+                f"exceptional edge: acquired via {chain}, with no "
+                "release in any except/finally cleanup "
+                f"[fix: {RULES['CSAR010'].fixit}]")
 
     # -- CSAR009 --------------------------------------------------------
     def _check_overflow_inplace(self, func: ast.FunctionDef,
@@ -628,6 +691,118 @@ class FileLinter:
         return False
 
 
+def _format_chain(prefix: Tuple, chain: Tuple) -> str:
+    links = tuple(prefix) + tuple(chain)
+    return " -> ".join(f"{qname} ({path}:{line})"
+                       for qname, path, line in links)
+
+
+# ----------------------------------------------------------------------
+# CSAR011: the whole-program lock-order checker
+# ----------------------------------------------------------------------
+def _witness_note(edge, witnesses) -> str:
+    """Match one static order edge against LockSan runtime witnesses.
+
+    ``witnesses`` is a list of ``{"file", "group", "held_group"}`` dicts
+    from the explorer (see :func:`load_witnesses`), or ``None`` when no
+    witness file was supplied (then no note is attached at all).
+    Numeric edges match exactly; loop-carried/symbolic edges match any
+    inversion whose held group exceeds the acquired group.
+    """
+    if witnesses is None:
+        return ""
+    from repro.analysis.summaries import group_value
+    value_held = group_value(edge.held)
+    value_acq = group_value(edge.acquired)
+    for w in witnesses:
+        held_group, group = w.get("held_group"), w.get("group")
+        if held_group is None or group is None:
+            continue
+        if value_held is not None and value_acq is not None:
+            matched = held_group == value_held and group == value_acq
+        else:
+            matched = held_group > group
+        if matched:
+            return (f"dynamic witness: LockSan order-inversion on "
+                    f"{w.get('file')!r}, held group {held_group} while "
+                    f"acquiring group {group}")
+    return "no dynamic witness recorded"
+
+
+def check_order_cycles(program, enable: Set[str],
+                       supp_of_path: Dict[str, Dict[int,
+                                                    Optional[Set[str]]]],
+                       witnesses=None) -> List[Finding]:
+    """CSAR011 over the global acquires-while-holding graph.
+
+    Two cycle shapes are reported:
+
+    * a *descending* edge (numeric groups, or a loop statically iterating
+      groups downward) — it collides with every ascending-convention
+      chain, so the cycle partner is the Section 5.1 protocol itself;
+    * a *reversed symbolic pair* — chain A acquires ``b`` while holding
+      ``a`` and chain B acquires ``a`` while holding ``b`` on the same
+      file expression.
+    """
+    findings: List[Finding] = []
+    if "CSAR011" not in enable:
+        return findings
+
+    def emit(edge, message: str) -> None:
+        supp = supp_of_path.get(edge.path, {})
+        if _suppressed(supp, edge.line, "CSAR011"):
+            return
+        findings.append(Finding(
+            edge.path, edge.line, 0, "CSAR011", message,
+            witness=_witness_note(edge, witnesses)))
+
+    from repro.analysis.summaries import group_value
+    edges = program.order_edges()
+    seen: Set[Tuple] = set()
+    for qname, edge in edges:
+        if not edge.descending:
+            continue
+        key = (edge.path, edge.line, edge.held, edge.acquired)
+        if key in seen:
+            continue
+        seen.add(key)
+        shape = ("groups iterated in descending order"
+                 if edge.loop_carried else
+                 f"group {edge.acquired} acquired while group "
+                 f"{edge.held} is held")
+        emit(edge,
+             f"static lock-order cycle on file {edge.file_text}: {shape} "
+             "— collides with every chain following the ascending "
+             f"Section 5.1 convention; witness chain {qname}: "
+             f"{_format_chain((), edge.chain)} "
+             f"[fix: {RULES['CSAR011'].fixit}]")
+
+    # Reversed symbolic pairs: (a held -> b acquired) vs (b -> a).
+    by_pair: Dict[Tuple[str, str, str], List[Tuple[str, object]]] = {}
+    for qname, edge in edges:
+        if edge.descending or edge.loop_carried:
+            continue
+        if group_value(edge.held) is not None \
+                and group_value(edge.acquired) is not None:
+            continue  # numeric pairs are fully ordered, handled above
+        by_pair.setdefault((edge.file_text, edge.held, edge.acquired),
+                           []).append((qname, edge))
+    for (file_text, held, acquired), members in sorted(by_pair.items()):
+        reverse = by_pair.get((file_text, acquired, held))
+        if not reverse or held >= acquired:
+            continue  # report each unordered pair once
+        qname, edge = members[0]
+        rev_qname, rev_edge = reverse[0]
+        emit(edge,
+             f"static lock-order cycle on file {file_text}: "
+             f"{qname} acquires {acquired} while holding {held} "
+             f"({_format_chain((), edge.chain)}) but {rev_qname} "
+             f"acquires {held} while holding {acquired} "
+             f"({_format_chain((), rev_edge.chain)}) "
+             f"[fix: {RULES['CSAR011'].fixit}]")
+    return findings
+
+
 # ----------------------------------------------------------------------
 # public API
 # ----------------------------------------------------------------------
@@ -644,6 +819,17 @@ def lint_file(path: str,
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterable[str]:
+    """Expand files and directory trees, deduplicated: a file reachable
+    both directly and through a parent directory is yielded once."""
+    seen: Set[str] = set()
+
+    def once(path: str) -> bool:
+        real = os.path.realpath(path)
+        if real in seen:
+            return False
+        seen.add(real)
+        return True
+
     for path in paths:
         if os.path.isdir(path):
             for dirpath, dirnames, filenames in os.walk(path):
@@ -652,34 +838,159 @@ def iter_python_files(paths: Iterable[str]) -> Iterable[str]:
                                if d not in ("__pycache__", ".git")]
                 for filename in sorted(filenames):
                     if filename.endswith(".py"):
-                        yield os.path.join(dirpath, filename)
-        else:
+                        candidate = os.path.join(dirpath, filename)
+                        if once(candidate):
+                            yield candidate
+        elif once(path):
             yield path
 
 
 def lint_paths(paths: Iterable[str],
-               enable: Optional[Iterable[str]] = None) -> List[Finding]:
-    """Lint files and directory trees; findings sorted by location."""
+               enable: Optional[Iterable[str]] = None,
+               interprocedural: bool = False,
+               witnesses=None) -> List[Finding]:
+    """Lint files and directory trees; findings sorted by location.
+
+    With ``interprocedural=True`` the whole file set is first condensed
+    into a :class:`~repro.analysis.summaries.Program` (call graph +
+    lock-effect summaries); the per-file rules then see callee effects
+    (CSAR001/007/008 track helper-mediated acquire/release) and the
+    whole-program rules CSAR010/CSAR011 run on top.  ``witnesses`` is an
+    optional list of LockSan order-inversion records (see
+    :func:`load_witnesses`) cross-referenced into CSAR011 findings.
+    """
+    files = list(iter_python_files(paths))
+    program = None
+    if interprocedural:
+        from repro.analysis.summaries import Program
+        program = Program.build(files)
     findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_file(path, enable=enable))
+    supp_of_path: Dict[str, Dict[int, Optional[Set[str]]]] = {}
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as fp:
+                source = fp.read()
+        except OSError:
+            continue
+        linter = FileLinter(path, source, enable=enable, program=program)
+        findings.extend(linter.run())
+        supp_of_path[path] = linter._supp
+    if program is not None:
+        enabled = set(enable) if enable is not None else set(all_codes())
+        findings.extend(check_order_cycles(program, enabled,
+                                           supp_of_path, witnesses))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
-    return findings
+    unique: List[Finding] = []
+    seen: Set[Tuple] = set()
+    for finding in findings:
+        key = (finding.path, finding.line, finding.col, finding.code,
+               finding.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(finding)
+    return unique
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+#: Version of the ``--baseline`` file payload.
+BASELINE_SCHEMA_VERSION = 1
+
+
+def baseline_key(finding: Finding) -> Tuple[str, str, str]:
+    """Baseline identity: location-line-free so mere drift in line
+    numbers does not resurrect a baselined finding, and witness-free so
+    dynamic-witness availability does not churn the file."""
+    return (finding.path, finding.code, finding.message)
+
+
+def write_baseline(findings: List[Finding], path: str) -> None:
+    entries = sorted({baseline_key(f) for f in findings})
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "entries": [{"path": p, "code": c, "message": m}
+                    for p, c, m in entries],
+    }
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2)
+        fp.write("\n")
+
+
+def load_baseline(path: str) -> Set[Tuple[str, str, str]]:
+    with open(path, "r", encoding="utf-8") as fp:
+        data = json.load(fp)
+    version = data.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise ValueError(f"unsupported baseline schema_version "
+                         f"{version!r} (expected "
+                         f"{BASELINE_SCHEMA_VERSION})")
+    return {(e["path"], e["code"], e["message"])
+            for e in data.get("entries", ())}
+
+
+def apply_baseline(findings: List[Finding],
+                   entries: Set[Tuple[str, str, str]],
+                   ) -> Tuple[List[Finding], int]:
+    """Split findings into (new, suppressed-count) against a baseline."""
+    new = [f for f in findings if baseline_key(f) not in entries]
+    return new, len(findings) - len(new)
+
+
+def baseline_from_pyproject(root: str = ".") -> Optional[str]:
+    """The ``[tool.csar-lint] baseline`` path, if configured (resolved
+    relative to ``root``)."""
+    section = _pyproject_section(root)
+    baseline = section.get("baseline")
+    if isinstance(baseline, str):
+        return os.path.join(root, baseline)
+    return None
+
+
+# ----------------------------------------------------------------------
+# LockSan witness files (written by ``csar-repro explore --smoke``)
+# ----------------------------------------------------------------------
+#: Version of the ``--witnesses`` file payload.
+WITNESS_SCHEMA_VERSION = 1
+
+
+def save_witnesses(witnesses: List[dict], path: str) -> None:
+    payload = {"schema_version": WITNESS_SCHEMA_VERSION,
+               "witnesses": witnesses}
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2)
+        fp.write("\n")
+
+
+def load_witnesses(path: str) -> List[dict]:
+    with open(path, "r", encoding="utf-8") as fp:
+        data = json.load(fp)
+    version = data.get("schema_version")
+    if version != WITNESS_SCHEMA_VERSION:
+        raise ValueError(f"unsupported witness schema_version "
+                         f"{version!r} (expected "
+                         f"{WITNESS_SCHEMA_VERSION})")
+    return list(data.get("witnesses", ()))
+
+
+def _pyproject_section(root: str = ".") -> dict:
+    """The parsed ``[tool.csar-lint]`` table (empty when unavailable)."""
+    candidate = os.path.join(root, "pyproject.toml")
+    if not os.path.exists(candidate):
+        return {}
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - python < 3.11
+        return {}
+    with open(candidate, "rb") as fp:
+        data = tomllib.load(fp)
+    section = data.get("tool", {}).get("csar-lint", {})
+    return section if isinstance(section, dict) else {}
 
 
 def enabled_codes_from_pyproject(root: str = ".") -> Optional[List[str]]:
     """The ``[tool.csar-lint] enable`` list, if configured."""
-    candidate = os.path.join(root, "pyproject.toml")
-    if not os.path.exists(candidate):
-        return None
-    try:
-        import tomllib
-    except ImportError:  # pragma: no cover - python < 3.11
-        return None
-    with open(candidate, "rb") as fp:
-        data = tomllib.load(fp)
-    section = data.get("tool", {}).get("csar-lint", {})
-    enable = section.get("enable")
+    enable = _pyproject_section(root).get("enable")
     if isinstance(enable, list):
         return [str(code) for code in enable]
     return None
@@ -704,6 +1015,46 @@ def format_json(findings: List[Finding]) -> str:
         {"schema_version": LINT_SCHEMA_VERSION,
          "findings": [
              {"path": f.path, "line": f.line, "col": f.col,
-              "code": f.code, "message": f.message, "fixit": f.fixit}
+              "code": f.code, "message": f.message, "fixit": f.fixit,
+              "witness": f.witness}
              for f in findings]},
         indent=2)
+
+
+def format_sarif(findings: List[Finding]) -> str:
+    """Serialize findings as SARIF 2.1.0 for CI code-scanning upload."""
+    rules = [
+        {"id": code,
+         "name": RULES[code].name,
+         "shortDescription": {"text": RULES[code].summary},
+         "help": {"text": RULES[code].fixit},
+         "defaultConfiguration": {"level": "error"}}
+        for code in all_codes()]
+    results = []
+    for f in findings:
+        message = f.message
+        if f.witness:
+            message += f" ({f.witness})"
+        results.append({
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": f.line,
+                               "startColumn": f.col + 1}}}],
+        })
+    payload = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "csar-lint",
+                "informationUri":
+                    "https://example.invalid/csar-repro/docs/ANALYSIS.md",
+                "rules": rules}},
+            "results": results}],
+    }
+    return json.dumps(payload, indent=2)

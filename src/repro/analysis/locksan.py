@@ -55,6 +55,10 @@ class LockSanReport:
     file: Optional[str]
     group: Optional[int]
     processes: Tuple[str, ...]
+    #: for order-inversions: the higher-numbered group already held when
+    #: ``group`` was acquired — the explorer exports (file, group,
+    #: held_group) as a dynamic witness for CSAR011 cross-referencing
+    held_group: Optional[int] = None
 
     def format(self) -> str:
         procs = ", ".join(self.processes) or "<unknown>"
@@ -96,8 +100,10 @@ class LockSan:
     # ------------------------------------------------------------------
     def _report(self, kind: str, message: str, file: Optional[str] = None,
                 group: Optional[int] = None,
-                processes: Tuple[str, ...] = ()) -> LockSanReport:
-        report = LockSanReport(kind, message, file, group, processes)
+                processes: Tuple[str, ...] = (),
+                held_group: Optional[int] = None) -> LockSanReport:
+        report = LockSanReport(kind, message, file, group, processes,
+                               held_group)
         self.reports.append(report)
         if self.strict:
             raise LockSanError(report.format())
@@ -177,7 +183,8 @@ class LockSan:
                     f"holding {other_file}:{other_group} — groups must be "
                     "taken in ascending order (Section 5.1)",
                     file=file, group=group,
-                    processes=(proc_name, holder_proc))
+                    processes=(proc_name, holder_proc),
+                    held_group=other_group)
         held[key] = (proc_name, now)
         self._holder[key] = xid
 

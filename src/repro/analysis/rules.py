@@ -108,6 +108,30 @@ RULES: Dict[str, Rule] = {
                   "suppress with a comment explaining why",
         ),
         Rule(
+            code="CSAR010",
+            name="interprocedural-lock-leak",
+            summary="a call chain can exit with a net-positive lock "
+                    "delta — a helper acquires a lock the caller never "
+                    "guarantees to release (whole-program mode only)",
+            fixit="release the helper-acquired lock on every caller "
+                  "path (try/finally around the helper call), make the "
+                  "helper release it itself, or baseline the finding "
+                  "when the release is protocol-carried by a later "
+                  "message handler",
+        ),
+        Rule(
+            code="CSAR011",
+            name="static-lock-order-cycle",
+            summary="the global acquires-while-holding graph contains a "
+                    "cycle or a descending edge against the Section 5.1 "
+                    "ascending-group invariant (whole-program mode "
+                    "only); the finding names its dynamic LockSan "
+                    "witness when the explorer recorded one",
+            fixit="acquire parity-group locks in ascending group order "
+                  "on every call chain; sort the groups before locking "
+                  "and keep helper functions on the same convention",
+        ),
+        Rule(
             code="CSAR009",
             name="overflow-write-in-place",
             summary="hybrid overflow path writes partial-stripe data to "

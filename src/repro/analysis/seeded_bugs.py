@@ -14,7 +14,20 @@ budget:
 * :class:`InPlaceOverflowHybrid` — the partial-stripe path writes the
   new bytes to the *home* data location instead of the overflow region
   (exactly what Section 4 forbids): parity over the in-place blocks
-  goes stale, which ParitySan's quiescent check reports.
+  goes stale, which ParitySan's quiescent check reports;
+* :class:`HelperReleaseRaid5` — the acquire and the release of a
+  per-write lease live in two different *helpers*, and the releasing
+  helper silently drops one release.  Each function is clean in
+  isolation (the acquire helper is even suppressed, mirroring real
+  protocol-carried locking), so the intra-procedural linter reports
+  nothing; only the interprocedural pass (CSAR010) and the explorer
+  (the third write blocks on the leaked lease) can see the leak;
+* :class:`DescendingLockRaid5` — the strict-locking write path takes
+  its group locks in *descending* order through a ``range(...,-1)``
+  loop, defeating the Section 5.1 deadlock-avoidance invariant while
+  staying invisible to CSAR002's literal-only ordering check.  CSAR011
+  flags the loop-carried descending edge statically and LockSan's
+  order-inversion check witnesses it dynamically.
 
 Neither class is registered with the scheme registry — they impersonate
 their parent's ``name`` so existing metadata dispatch keeps working, and
@@ -70,6 +83,83 @@ class InPlaceOverflowHybrid(Hybrid):
                 payload=chunk, xid=client.next_xid())))
             targets.append(sr.server)
         yield from self._tolerant_parallel(client, targets, calls)
+
+
+class HelperReleaseRaid5(Raid5):
+    """RAID5 with a per-write lease split across acquire/release helpers.
+
+    The N-th write's :meth:`_drop_lease` silently skips the release, so
+    the lease lock leaks.  The leak is invisible to per-function
+    analysis — :meth:`_take_lease` legitimately suppresses CSAR001 (its
+    release is "protocol-carried", just like the real I/O daemon's) and
+    :meth:`_drop_lease` releases a lock it never acquired — so only a
+    whole-program pass that threads the lease through ``write`` can see
+    that one caller path exits with a net-positive lock delta.
+    """
+
+    name = "raid5"  # impersonate: metadata still says "raid5"
+
+    #: lease pseudo-group, far above any real parity group number
+    LEASE_GROUP = 1 << 20
+
+    def __init__(self, config: Any, drop_release_number: int = 2) -> None:
+        super().__init__(config)
+        self.drop_release_number = drop_release_number
+        self._writes = 0
+
+    def write(self, client, meta, offset: int,
+              payload: Payload) -> Generator[Event, Any, None]:
+        iod = client.iods[0]
+        xid = client.next_xid()
+        yield from self._take_lease(iod, meta.name, xid)
+        yield from super().write(client, meta, offset, payload)
+        self._drop_lease(iod, meta.name, xid)
+
+    def _take_lease(self, iod, name: str,
+                    xid: int) -> Generator[Event, Any, None]:
+        yield from iod.locks.acquire(  # csar-lint: disable=CSAR001
+            name, self.LEASE_GROUP, xid)
+
+    def _drop_lease(self, iod, name: str, xid: int) -> None:
+        self._writes += 1
+        if self._writes == self.drop_release_number:
+            return  # the bug: this write's lease is never released
+        iod.locks.release(name, self.LEASE_GROUP, xid)
+
+
+class DescendingLockRaid5(Raid5):
+    """RAID5 whose strict write locks its groups highest-first.
+
+    The descending ``range`` loop inverts the Section 5.1 ascending
+    acquisition order.  Each acquire is matched by a release in the
+    ``finally`` block, so the per-function leak checks stay quiet, and
+    the loop bounds are symbolic, so CSAR002's literal-ordering check
+    never fires — only the whole-program order graph (CSAR011) and
+    LockSan's runtime inversion check see the bug.  The locks are taken
+    directly on the parity servers' tables (not via ``GroupLockReq``)
+    so the acquisition order is observable both statically and by the
+    xid-keyed sanitizer.
+    """
+
+    name = "raid5"  # impersonate: metadata still says "raid5"
+
+    def _strict_write(self, client, meta, offset: int,
+                      payload: Payload) -> Generator[Event, Any, None]:
+        lay = meta.layout
+        first = lay.group_of(offset)
+        last = lay.group_of(offset + payload.length - 1)
+        xid = client.next_xid()
+        for group in range(last, first - 1, -1):  # the bug: descending
+            # CSAR008 sees the zero-iteration exit of the release loop
+            # below; first <= last always, so the loops pair up exactly.
+            yield from client.iods[lay.parity_server(group)].locks.acquire(  # csar-lint: disable=CSAR008
+                meta.name, group, xid)
+        try:
+            yield from self._write_inner(client, meta, offset, payload)
+        finally:
+            for group in range(first, last + 1):
+                client.iods[lay.parity_server(group)].locks.release(
+                    meta.name, group, xid)
 
 
 def inject(system: Any, scheme: Any) -> Any:

@@ -11,7 +11,12 @@
     csar-repro profile fig7a
     csar-repro bench --quick --check
     csar-repro lint src --format=json
-    csar-repro explore --smoke
+    csar-repro lint src --format=sarif > lint.sarif
+    csar-repro lint src --write-baseline tools/lint_baseline.json
+    csar-repro lint src --baseline tools/lint_baseline.json \
+        --witnesses witnesses.json
+    csar-repro lint src --no-interprocedural
+    csar-repro explore --smoke --witness-file witnesses.json
     csar-repro explore race-lock-order --strategy pct --budget 128
     csar-repro explore --replay out/race-lock-order.sched
 """
@@ -187,7 +192,8 @@ def _cmd_bench(json_path: str, note: str, quick: bool, check: bool,
 def _cmd_explore(scenario: Optional[str], strategy: str, budget: int,
                  depth: int, seed: int, smoke: bool,
                  sched_dir: Optional[str], replay_path: Optional[str],
-                 list_scenarios: bool) -> int:
+                 list_scenarios: bool,
+                 witness_path: Optional[str] = None) -> int:
     from repro.analysis import explore
 
     if list_scenarios:
@@ -213,7 +219,8 @@ def _cmd_explore(scenario: Optional[str], strategy: str, budget: int,
     if smoke:
         try:
             results = explore.explore_smoke(budget=budget, depth=depth,
-                                            sched_dir=sched_dir)
+                                            sched_dir=sched_dir,
+                                            witness_path=witness_path)
         except AssertionError as err:
             print(f"error: {err}", file=sys.stderr)
             return 1
@@ -221,18 +228,26 @@ def _cmd_explore(scenario: Optional[str], strategy: str, budget: int,
             print(f"{result.scenario}: caught "
                   f"{result.record.violation.format()} after "
                   f"{result.schedules} schedule(s); replay deterministic")
+        if witness_path is not None:
+            print(f"wrote lock-order witnesses to {witness_path}")
         return 0
 
     if scenario is None:
         print("error: give a scenario name, --smoke, --replay, or --list",
               file=sys.stderr)
         return 2
+    explore.drain_witnesses()
     try:
         result = explore.explore(scenario, strategy=strategy, budget=budget,
                                  depth=depth, seed=seed)
     except KeyError as err:
         print(f"error: {err.args[0]}", file=sys.stderr)
         return 2
+    if witness_path is not None:
+        from repro.analysis import lint
+
+        lint.save_witnesses(explore.drain_witnesses(), witness_path)
+        print(f"wrote lock-order witnesses to {witness_path}")
     if not result.found:
         print(f"{scenario}: no violation in {result.schedules} "
               f"schedule(s) ({strategy})")
@@ -248,7 +263,11 @@ def _cmd_explore(scenario: Optional[str], strategy: str, budget: int,
     return 1
 
 
-def _cmd_lint(paths: List[str], fmt: str, list_rules: bool) -> int:
+def _cmd_lint(paths: List[str], fmt: str, list_rules: bool,
+              interprocedural: bool = True,
+              baseline_path: Optional[str] = None,
+              write_baseline_path: Optional[str] = None,
+              witness_path: Optional[str] = None) -> int:
     from repro.analysis import lint
     from repro.analysis.rules import RULES
 
@@ -262,12 +281,49 @@ def _cmd_lint(paths: List[str], fmt: str, list_rules: bool) -> int:
         if not os.path.exists(path):
             print(f"error: no such path: {path}", file=sys.stderr)
             return 2
+    witnesses = None
+    if witness_path is not None:
+        if not os.path.exists(witness_path):
+            print(f"error: no such witness file: {witness_path}",
+                  file=sys.stderr)
+            return 2
+        witnesses = lint.load_witnesses(witness_path)
     enable = lint.enabled_codes_from_pyproject()
-    findings = lint.lint_paths(paths, enable=enable)
+    findings = lint.lint_paths(paths, enable=enable,
+                               interprocedural=interprocedural,
+                               witnesses=witnesses)
+    if write_baseline_path is not None:
+        lint.write_baseline(findings, write_baseline_path)
+        print(f"wrote {len(findings)} baseline entr"
+              f"{'y' if len(findings) == 1 else 'ies'} to "
+              f"{write_baseline_path}")
+        return 0
+    suppressed = 0
+    if baseline_path is not None:
+        if not os.path.exists(baseline_path):
+            print(f"error: no such baseline file: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+    else:
+        # Auto-baseline: [tool.csar-lint] baseline in pyproject.toml,
+        # silently skipped when the file is absent (e.g. a fresh clone
+        # linting before the baseline has been generated).
+        configured = lint.baseline_from_pyproject()
+        if configured is not None and os.path.exists(configured):
+            baseline_path = configured
+    if baseline_path is not None:
+        findings, suppressed = lint.apply_baseline(
+            findings, lint.load_baseline(baseline_path))
     if fmt == "json":
         print(lint.format_json(findings))
-    elif findings:
-        print(lint.format_text(findings))
+    elif fmt == "sarif":
+        print(lint.format_sarif(findings))
+    else:
+        if findings:
+            print(lint.format_text(findings))
+        if suppressed:
+            print(f"{suppressed} baselined finding"
+                  f"{'s' if suppressed != 1 else ''} suppressed")
     return 1 if findings else 0
 
 
@@ -363,15 +419,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     explore_p.add_argument("--list", action="store_true",
                            dest="list_scenarios",
                            help="print every registered scenario and exit")
+    explore_p.add_argument("--witness-file", default=None,
+                           dest="witness_path", metavar="FILE",
+                           help="save every LockSan order-inversion "
+                                "observed during the run as a witness "
+                                "file for 'lint --witnesses'")
     lint_p = sub.add_parser(
         "lint", help="run the csar-lint static protocol checks")
     lint_p.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    lint_p.add_argument("--format", choices=("text", "json"),
+    lint_p.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", dest="fmt",
                         help="output format (default: text)")
     lint_p.add_argument("--list-rules", action="store_true",
                         help="print every rule code and exit")
+    lint_p.add_argument("--interprocedural", action="store_true",
+                        default=True,
+                        help="whole-program mode: call graph + "
+                             "lock-effect summaries + CSAR010/CSAR011 "
+                             "(the default)")
+    lint_p.add_argument("--no-interprocedural", action="store_false",
+                        dest="interprocedural",
+                        help="per-function rules only (the pre-summary "
+                             "behaviour)")
+    lint_p.add_argument("--baseline", default=None, dest="baseline_path",
+                        metavar="FILE",
+                        help="suppress findings recorded in this baseline "
+                             "file; only new findings fail the run "
+                             "(default: [tool.csar-lint] baseline from "
+                             "pyproject.toml, when the file exists)")
+    lint_p.add_argument("--write-baseline", default=None,
+                        dest="write_baseline_path", metavar="FILE",
+                        help="record every current finding into FILE and "
+                             "exit 0 (accept the status quo)")
+    lint_p.add_argument("--witnesses", default=None, dest="witness_path",
+                        metavar="FILE",
+                        help="LockSan witness file from 'explore "
+                             "--witness-file'; CSAR011 findings name "
+                             "their dynamic witness when one matches")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -382,12 +467,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(text)
         return 0 if ok else 1
     if args.command == "lint":
-        return _cmd_lint(args.paths, args.fmt, args.list_rules)
+        return _cmd_lint(args.paths, args.fmt, args.list_rules,
+                         args.interprocedural, args.baseline_path,
+                         args.write_baseline_path, args.witness_path)
     if args.command == "explore":
         return _cmd_explore(args.scenario, args.strategy, args.budget,
                             args.depth, args.seed, args.smoke,
                             args.sched_dir, args.replay_path,
-                            args.list_scenarios)
+                            args.list_scenarios, args.witness_path)
     if args.command == "profile":
         return _cmd_profile(args.experiment, args.scale, args.top,
                             args.sort)

@@ -1,0 +1,48 @@
+"""Call-graph construction shapes: cycles, method resolution, getattr.
+
+No lint findings live here — this module exists so the call-graph
+tests have mutual recursion (a non-trivial SCC), an inheritance
+diamond-free MRO walk, ``super()`` dispatch, a literal ``getattr``
+(folded to a normal method call), and an unknown-receiver call that
+only the capped *fallback* resolution can approximate.
+"""
+
+
+def even(n):
+    if n == 0:
+        return True
+    return odd(n - 1)
+
+
+def odd(n):
+    if n == 0:
+        return False
+    return even(n - 1)
+
+
+def standalone(n):
+    return even(n) or odd(n)
+
+
+class Base:
+    def ping(self):
+        return self.pong()
+
+    def pong(self):
+        return 0
+
+
+class Derived(Base):
+    def pong(self):
+        return super().pong() + 1
+
+    def delegate(self):
+        return Base.pong(self)
+
+
+def literal_getattr(obj: Base):
+    return getattr(obj, "ping")()
+
+
+def duck_call(obj):
+    return obj.pong()

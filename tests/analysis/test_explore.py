@@ -129,13 +129,36 @@ class TestSeededBugs:
         assert result.record.violation.kind == "paritysan:parity"
         assert "parity mismatch" in result.record.violation.description
 
+    def test_helper_release_leak_caught_within_smoke_budget(self):
+        result = explore.explore("buggy-helper-release-leak", budget=16)
+        assert result.found
+        assert "deadlock" in result.record.violation.description
+
+    def test_lock_order_caught_by_locksan(self):
+        explore.drain_witnesses()
+        result = explore.explore("buggy-lock-order", budget=16)
+        assert result.found
+        assert result.record.violation.kind == "locksan:order-inversion"
+        # The inversion also lands in the witness stream CSAR011 reads.
+        witnesses = explore.drain_witnesses()
+        assert {"file": "f", "group": 0, "held_group": 1} in witnesses
+
     def test_smoke_passes_and_replays(self, tmp_path):
-        results = explore.explore_smoke(budget=32, sched_dir=str(tmp_path))
+        witness_path = str(tmp_path / "witnesses.json")
+        results = explore.explore_smoke(budget=32,
+                                        sched_dir=str(tmp_path / "sched"),
+                                        witness_path=witness_path)
         assert {r.scenario for r in results} \
-            == {"buggy-lock-leak", "buggy-overflow-inplace"}
+            == {"buggy-lock-leak", "buggy-helper-release-leak",
+                "buggy-lock-order", "buggy-overflow-inplace"}
         assert all(r.found for r in results)
-        assert sorted(p.name for p in tmp_path.iterdir()) \
-            == ["buggy-lock-leak.sched", "buggy-overflow-inplace.sched"]
+        assert sorted(p.name for p in (tmp_path / "sched").iterdir()) \
+            == ["buggy-helper-release-leak.sched", "buggy-lock-leak.sched",
+                "buggy-lock-order.sched", "buggy-overflow-inplace.sched"]
+        from repro.analysis import lint
+        witnesses = lint.load_witnesses(witness_path)
+        assert any(w["held_group"] == 1 and w["group"] == 0
+                   for w in witnesses)
 
 
 class TestSchedFiles:

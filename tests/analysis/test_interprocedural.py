@@ -1,0 +1,263 @@
+"""Whole-program lint mode: the ip_fixtures round-trip, the seeded-bug
+regression the intra pass provably misses, CSAR011 x LockSan witness
+cross-referencing, baselines, SARIF, and the CLI flags."""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import explore, lint
+
+HERE = Path(__file__).resolve().parent
+IP_FIXTURES = HERE / "ip_fixtures"
+REPO_ROOT = HERE.parent.parent
+SEEDED = REPO_ROOT / "src" / "repro" / "analysis" / "seeded_bugs.py"
+
+_EXPECT = re.compile(r"#\s*expect:\s*(CSAR\d+(?:\s*,\s*CSAR\d+)*)")
+
+
+def expected_ip_findings():
+    expected = set()
+    for path in sorted(IP_FIXTURES.rglob("*.py")):
+        for lineno, text in enumerate(
+                path.read_text().splitlines(), start=1):
+            match = _EXPECT.search(text)
+            if match:
+                for code in re.split(r"\s*,\s*", match.group(1)):
+                    expected.add((str(path), lineno, code))
+    return expected
+
+
+class TestFixtureRoundTrip:
+    def test_interprocedural_findings_exactly_as_expected(self):
+        expected = expected_ip_findings()
+        findings = lint.lint_paths([str(IP_FIXTURES)],
+                                   interprocedural=True)
+        actual = {(f.path, f.line, f.code) for f in findings}
+        missing = expected - actual
+        surprise = actual - expected
+        assert not missing, f"expected findings not produced: {missing}"
+        assert not surprise, f"unexpected findings: {surprise}"
+
+    def test_intra_pass_reports_nothing_on_ip_fixtures(self):
+        # The whole point of the package: every bug needs the summaries.
+        assert lint.lint_paths([str(IP_FIXTURES)]) == []
+
+    def test_fixtures_exercise_the_new_rules(self):
+        codes = {code for _p, _l, code in expected_ip_findings()}
+        assert {"CSAR007", "CSAR010", "CSAR011"} <= codes
+
+
+class TestSeededBugRegression:
+    """The helper-release leak the old intra-only pass provably misses."""
+
+    def test_intra_pass_misses_the_helper_release_leak(self):
+        assert lint.lint_paths([str(SEEDED)]) == []
+
+    def test_interprocedural_pass_catches_it(self):
+        findings = lint.lint_paths([str(REPO_ROOT / "src")],
+                                   interprocedural=True)
+        seeded = [f for f in findings if f.path.endswith("seeded_bugs.py")]
+        codes = {f.code for f in seeded}
+        assert "CSAR010" in codes  # HelperReleaseRaid5's leaked lease
+        assert "CSAR011" in codes  # DescendingLockRaid5's loop
+        leak = next(f for f in seeded if f.code == "CSAR010")
+        assert "_take_lease" in leak.message
+        assert "->" in leak.message  # the witness call chain
+
+    def test_repo_src_still_clean_intra(self):
+        assert lint.lint_paths([str(REPO_ROOT / "src")]) == []
+
+
+class TestWitnessCrossReference:
+    def test_every_locksan_inversion_is_part_of_a_static_cycle(self):
+        # Acceptance gate: run the seeded-bug suite, collect every
+        # LockSan order-inversion, and require CSAR011 to name each one
+        # as the dynamic witness of a static cycle.
+        explore.drain_witnesses()
+        for scen in explore.smoke_scenarios():
+            explore.explore(scen.name, budget=16)
+        witnesses = explore.drain_witnesses()
+        assert witnesses, "seeded-bug suite produced no order-inversions"
+        findings = lint.lint_paths([str(REPO_ROOT / "src")],
+                                   interprocedural=True,
+                                   witnesses=witnesses)
+        cycles = [f for f in findings if f.code == "CSAR011"]
+        for witness in witnesses:
+            note = (f"held group {witness['held_group']} while acquiring "
+                    f"group {witness['group']}")
+            assert any(note in f.witness for f in cycles), \
+                f"no CSAR011 finding claims witness {witness}"
+
+    def test_unwitnessed_cycle_says_so(self):
+        findings = lint.lint_paths([str(IP_FIXTURES)],
+                                   interprocedural=True, witnesses=[])
+        cycle = next(f for f in findings if f.code == "CSAR011")
+        assert "no dynamic witness recorded" in cycle.witness
+
+    def test_witness_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "witnesses.json")
+        witnesses = [{"file": "f", "group": 0, "held_group": 1}]
+        lint.save_witnesses(witnesses, path)
+        assert lint.load_witnesses(path) == witnesses
+
+    def test_witness_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(ValueError):
+            lint.load_witnesses(str(path))
+
+
+class TestBaseline:
+    def findings(self):
+        return lint.lint_paths([str(IP_FIXTURES)], interprocedural=True)
+
+    def test_write_load_apply_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        findings = self.findings()
+        lint.write_baseline(findings, path)
+        entries = lint.load_baseline(path)
+        new, suppressed = lint.apply_baseline(findings, entries)
+        assert new == []
+        assert suppressed == len(findings)
+
+    def test_baseline_keys_survive_line_drift(self, tmp_path):
+        # Keys are (path, code, message) — moving a finding to another
+        # line (code above it changed) must not resurface it.
+        path = str(tmp_path / "baseline.json")
+        findings = self.findings()
+        lint.write_baseline(findings, path)
+        drifted = [lint.Finding(f.path, f.line + 7, f.col, f.code,
+                                f.message, f.witness)
+                   for f in findings]
+        new, suppressed = lint.apply_baseline(
+            drifted, lint.load_baseline(path))
+        assert new == []
+        assert suppressed == len(findings)
+
+    def test_new_findings_are_not_suppressed(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        findings = self.findings()
+        lint.write_baseline(findings[1:], path)
+        new, suppressed = lint.apply_baseline(
+            findings, lint.load_baseline(path))
+        assert new == [findings[0]]
+        assert suppressed == len(findings) - 1
+
+    def test_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(ValueError):
+            lint.load_baseline(str(path))
+
+    def test_repo_baseline_covers_the_seeded_bugs(self, monkeypatch):
+        # The committed baseline is exactly why `csar-repro lint src`
+        # exits 0 while the seeded-bug modules deliberately trip rules.
+        monkeypatch.chdir(REPO_ROOT)
+        entries = lint.load_baseline("tools/lint_baseline.json")
+        findings = lint.lint_paths(["src"], interprocedural=True)
+        assert {lint.baseline_key(f) for f in findings} == entries
+
+
+class TestDeduplication:
+    def test_file_passed_twice_reports_once(self):
+        once = lint.lint_paths([str(IP_FIXTURES / "leak_chain.py")],
+                               interprocedural=True)
+        twice = lint.lint_paths([str(IP_FIXTURES / "leak_chain.py"),
+                                 str(IP_FIXTURES / "leak_chain.py")],
+                                interprocedural=True)
+        assert twice == once
+
+    def test_file_and_parent_directory_report_once(self):
+        tree = lint.lint_paths([str(IP_FIXTURES)], interprocedural=True)
+        overlap = lint.lint_paths(
+            [str(IP_FIXTURES), str(IP_FIXTURES / "leak_chain.py")],
+            interprocedural=True)
+        assert overlap == tree
+
+
+class TestSarif:
+    def test_sarif_document_structure(self):
+        findings = lint.lint_paths([str(IP_FIXTURES)],
+                                   interprocedural=True)
+        doc = json.loads(lint.format_sarif(findings))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rule_ids = {r["id"] for r in
+                    run["tool"]["driver"]["rules"]}
+        assert {"CSAR010", "CSAR011"} <= rule_ids
+        results = run["results"]
+        assert len(results) == len(findings)
+        for result, finding in zip(results, findings):
+            assert result["ruleId"] == finding.code
+            location = result["locations"][0]["physicalLocation"]
+            assert location["region"]["startLine"] == finding.line
+
+    def test_sarif_of_no_findings_is_valid(self):
+        doc = json.loads(lint.format_sarif([]))
+        assert doc["runs"][0]["results"] == []
+
+
+class TestCli:
+    def test_default_lint_is_interprocedural_and_baselined(
+            self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "src"]) == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_no_interprocedural_flag(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "src", "--no-interprocedural"]) == 0
+
+    def test_write_then_consume_baseline(self, capsys, monkeypatch,
+                                         tmp_path):
+        from repro.cli import main
+
+        monkeypatch.chdir(REPO_ROOT)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", str(IP_FIXTURES),
+                     "--write-baseline", baseline]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(IP_FIXTURES),
+                     "--baseline", baseline]) == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_two(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "src", "--baseline", "no/such.json"]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_missing_witness_file_exits_two(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "src", "--witnesses", "no/such.json"]) == 2
+        assert "witness" in capsys.readouterr().err
+
+    def test_sarif_format(self, capsys, monkeypatch, tmp_path):
+        from repro.cli import main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", str(IP_FIXTURES), "--format=sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+    def test_explore_witness_file_flag(self, capsys, monkeypatch,
+                                       tmp_path):
+        from repro.cli import main
+
+        monkeypatch.chdir(REPO_ROOT)
+        witness_file = str(tmp_path / "wit.json")
+        assert main(["explore", "buggy-lock-order", "--budget", "8",
+                     "--witness-file", witness_file]) == 1
+        witnesses = lint.load_witnesses(witness_file)
+        assert {"file": "f", "group": 0, "held_group": 1} in witnesses

@@ -18,15 +18,16 @@ from repro.analysis.rules import RULES, all_codes
 
 HERE = Path(__file__).resolve().parent
 FIXTURES = HERE / "fixtures"
+IP_FIXTURES = HERE / "ip_fixtures"
 REPO_ROOT = HERE.parent.parent
 
 _EXPECT = re.compile(r"#\s*expect:\s*(CSAR\d+(?:\s*,\s*CSAR\d+)*)")
 
 
-def expected_findings():
+def expected_findings(root=FIXTURES):
     """(path, line, code) triples declared by fixture comments."""
     expected = set()
-    for path in sorted(FIXTURES.rglob("*.py")):
+    for path in sorted(root.rglob("*.py")):
         for lineno, text in enumerate(
                 path.read_text().splitlines(), start=1):
             match = _EXPECT.search(text)
@@ -47,7 +48,12 @@ class TestFixtureRoundTrip:
         assert not surprise, f"unexpected findings: {surprise}"
 
     def test_every_registered_rule_is_exercised(self):
+        # Intra rules fire in fixtures/; the whole-program rules only
+        # in ip_fixtures/ (that is their point) — together they cover
+        # the full registry.
         codes = {code for _p, _l, code in expected_findings()}
+        codes |= {code for _p, _l, code in
+                  expected_findings(IP_FIXTURES)}
         assert codes == set(all_codes())
 
     def test_findings_carry_fixits(self):
