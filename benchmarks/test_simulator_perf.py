@@ -34,3 +34,18 @@ def test_extent_map_churn(benchmark):
 def test_end_to_end_simulated_write_throughput(benchmark):
     """Simulated bytes pushed through the full CSAR stack per wall call."""
     assert benchmark(bench.end_to_end_write_once) > 0
+
+
+def test_content_mode_write_throughput(benchmark):
+    """Real-bytes hybrid write path: the zero-copy scatter-gather guard."""
+    assert benchmark(bench.content_mode_write_once) > 0
+
+
+def test_content_mode_degraded_read(benchmark):
+    """Whole-file reconstruction read with one server failed."""
+    assert benchmark(bench.content_mode_degraded_read_once) > 0
+
+
+def test_payload_sg_churn(benchmark):
+    """Payload slice/concat/assemble/xor_at/overlay algebra."""
+    assert benchmark(bench.payload_sg_churn_once) > 0

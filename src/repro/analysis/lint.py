@@ -44,6 +44,11 @@ for worked examples):
 * **CSAR009** — an overflow-path function in a ``redundancy`` module
   writes partial-stripe data to the home location (``WriteReq`` or a
   ``.write(data_file(...), ...)``) instead of the overflow region.
+* **CSAR012** — a flattening payload call (``.concat(...)``,
+  ``.to_bytes()``, ``.assemble(...)``) inside a loop (or comprehension)
+  in a ``pvfs``/``redundancy``/``hw`` module: each call materialises a
+  contiguous copy, so one per fragment/iteration turns the zero-copy
+  segment rope back into O(n²) memcpy.
 
 Findings can be suppressed per line with a trailing comment::
 
@@ -268,6 +273,8 @@ class FileLinter:
             self._check_wall_clock(tree)
         if self._is_hot_scoped():
             self._check_extent_in_loops(tree)
+        if self._is_payload_scoped():
+            self._check_payload_copies_in_loops(tree)
         self.findings.sort(key=lambda f: (f.line, f.col, f.code))
         return self.findings
 
@@ -285,6 +292,12 @@ class FileLinter:
         """CSAR006 applies only to ``hw``/``sim`` hot-path modules."""
         parts = os.path.normpath(self.path).split(os.sep)
         return any(part in ("hw", "sim") for part in parts)
+
+    def _is_payload_scoped(self) -> bool:
+        """CSAR012 applies only to data-path ``pvfs``/``redundancy``/``hw``
+        modules."""
+        parts = os.path.normpath(self.path).split(os.sep)
+        return any(part in ("pvfs", "redundancy", "hw") for part in parts)
 
     # -- dispatch -------------------------------------------------------
     def _check_function(self, func: ast.FunctionDef,
@@ -627,6 +640,33 @@ class FileLinter:
                     "Extent() constructed inside a loop in a hw/sim "
                     "hot-path module "
                     f"[fix: {RULES['CSAR006'].fixit}]")
+
+    # -- CSAR012 --------------------------------------------------------
+    #: Payload methods that materialise a flat contiguous copy.
+    _PAYLOAD_FLATTENERS = frozenset({"concat", "to_bytes", "assemble"})
+
+    def _check_payload_copies_in_loops(self, tree: ast.Module) -> None:
+        """Flag flattening payload calls inside any loop body."""
+        seen: Set[int] = set()  # a call inside nested loops reports once
+        for loop in ast.walk(tree):
+            if not isinstance(loop, self._LOOPS):
+                continue
+            for node in ast.walk(loop):
+                if node is loop or not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue  # bare concat()/assemble() is someone else's
+                name = func.attr
+                if (name not in self._PAYLOAD_FLATTENERS
+                        or id(node) in seen):
+                    continue
+                seen.add(id(node))
+                self._report(
+                    "CSAR012", node,
+                    f".{name}() materialises a flat payload copy inside "
+                    "a loop in a pvfs/redundancy/hw data-path module "
+                    f"[fix: {RULES['CSAR012'].fixit}]")
 
     # -- CSAR005 --------------------------------------------------------
     def _check_lost_failures(self, func: ast.FunctionDef,

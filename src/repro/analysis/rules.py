@@ -132,6 +132,19 @@ RULES: Dict[str, Rule] = {
                   "and keep helper functions on the same convention",
         ),
         Rule(
+            code="CSAR012",
+            name="payload-copy-in-hot-loop",
+            summary="Payload.concat/to_bytes/assemble inside a loop on "
+                    "the data path (pvfs/, redundancy/, hw/) — each call "
+                    "materialises a flat copy of the whole payload, "
+                    "defeating the zero-copy segment rope",
+            fixit="hoist the materialisation out of the loop, build the "
+                  "segment list first and assemble once, or walk "
+                  "iter_segments()/slice() views instead; suppress with "
+                  "a comment when the loop is provably cold or the copy "
+                  "is the point (e.g. one merged message per server)",
+        ),
+        Rule(
             code="CSAR009",
             name="overflow-write-in-place",
             summary="hybrid overflow path writes partial-stripe data to "

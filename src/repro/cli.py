@@ -152,12 +152,15 @@ def _cmd_run_parallel(ids: List[str], scale: Optional[float],
 
 
 def _cmd_profile(exp_id: str, scale: Optional[float], top: int,
-                 sort: str) -> int:
-    from repro.perf.profiler import profile_experiment
+                 sort: str, bench_mode: bool = False) -> int:
+    from repro.perf.profiler import profile_bench, profile_experiment
 
     try:
-        report, _table = profile_experiment(exp_id, scale=scale, top=top,
-                                            sort=sort)
+        if bench_mode:
+            report = profile_bench(exp_id, top=top, sort=sort)
+        else:
+            report, _table = profile_experiment(exp_id, scale=scale, top=top,
+                                                sort=sort)
     except ConfigError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
@@ -166,13 +169,26 @@ def _cmd_profile(exp_id: str, scale: Optional[float], top: int,
 
 
 def _cmd_bench(json_path: str, note: str, quick: bool, check: bool,
-               threshold: float) -> int:
+               threshold: float,
+               scenarios: Optional[List[str]] = None) -> int:
     from repro.perf import bench
 
+    names: Optional[List[str]] = None
+    if scenarios:
+        names = [n for n in scenarios if n in bench.SCENARIOS]
+        for n in scenarios:
+            if n not in bench.SCENARIOS:
+                print(f"warning: unknown scenario {n!r} skipped "
+                      f"(known: {', '.join(bench.SCENARIOS)})",
+                      file=sys.stderr)
     data = bench.load(json_path)
     baseline = bench.baseline_run(data)
-    results = bench.run_scenarios(repeats=2 if quick else 5)
+    results = bench.run_scenarios(names, repeats=2 if quick else 5)
     print(bench.format_results(results, baseline))
+    if not results:
+        # Nothing ran (every requested name was unknown): nothing to
+        # record or check, but the misuse should not pass silently.
+        return 2
     bench.append_run(results, path=json_path, note=note, quick=quick)
     print(f"\nappended run to {json_path} "
           f"({len(data['runs']) + 1} runs recorded)")
@@ -361,7 +377,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile_p = sub.add_parser(
         "profile", help="run one experiment under cProfile with kernel "
                         "event/dispatch counters")
-    profile_p.add_argument("experiment", help="experiment id (see 'list')")
+    profile_p.add_argument("experiment",
+                           help="experiment id (see 'list'), or a bench "
+                                "scenario name with --bench")
+    profile_p.add_argument("--bench", action="store_true",
+                           help="profile a micro-benchmark scenario from "
+                                "'csar-repro bench' instead of an "
+                                "experiment")
     profile_p.add_argument("--scale", type=float, default=None,
                            help="data-volume scale factor")
     profile_p.add_argument("--top", type=int, default=20,
@@ -371,6 +393,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench_p = sub.add_parser(
         "bench", help="run the simulator micro-benchmarks and append "
                       "results to the perf-trajectory file")
+    bench_p.add_argument("scenarios", nargs="*", default=None,
+                         help="scenario names to run (default: all); "
+                              "unknown names are skipped with a warning")
     bench_p.add_argument("--quick", action="store_true",
                          help="2 repeats per scenario instead of 5")
     bench_p.add_argument("--json", default="BENCH_simulator.json",
@@ -477,10 +502,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                             args.list_scenarios, args.witness_path)
     if args.command == "profile":
         return _cmd_profile(args.experiment, args.scale, args.top,
-                            args.sort)
+                            args.sort, args.bench)
     if args.command == "bench":
         return _cmd_bench(args.json_path, args.note, args.quick,
-                          args.check, args.threshold)
+                          args.check, args.threshold, args.scenarios)
     return _cmd_run(args.ids, args.scale, args.csv_dir, args.chart,
                     args.sanitize, args.jobs)
 

@@ -33,6 +33,10 @@ class CSARConfig:
     #: groups it touches, serializing even *overlapping* concurrent
     #: writes (which plain CSAR, like PVFS, leaves undefined)
     strict_locking: bool = False
+    #: merge adjacent same-kind request fragments per server into one
+    #: vectored message (one header, one stream); False reproduces the
+    #: one-message-per-fragment wire behaviour
+    coalescing: bool = True
     #: compute parity content/CPU cost (False reproduces "RAID5-npc")
     compute_parity: bool = True
     #: use the byte-at-a-time parity kernel (the Swift/RAID ablation)

@@ -148,11 +148,31 @@ class PageCache:
         first touch; if its old contents are on disk and not cached, it
         must be read first (Section 5.2).
         """
-        if end <= start:
+        yield from self.write_many(file_id, ((start, end),), allocated,
+                                   cut_points)
+
+    def write_many(self, file_id: object,
+                   ranges: Iterable[Tuple[int, int]],
+                   allocated: ExtentMap,
+                   cut_points: Iterable[int] = (),
+                   ) -> Generator[Event, Any, None]:
+        """Absorb several byte ranges of one request in a single pass.
+
+        The vectored companion of :meth:`write`: a scatter-gathered
+        server write (e.g. a multi-piece overflow append) charges all of
+        its ranges with one throttle/eviction pass, the way one local
+        ``writev`` would.  For a single range this is exactly
+        :meth:`write`.
+        """
+        ranges = [(s, e) for s, e in ranges if e > s]
+        if not ranges:
             return
         entry = self._entry(file_id)
         bs = self.params.block_size
-        boundaries = {start, end}
+        boundaries = set()
+        for start, end in ranges:
+            boundaries.add(start)
+            boundaries.add(end)
         boundaries.update(cut_points)
         penalty_blocks: List[Tuple[int, int]] = []
         seen = set()
@@ -182,10 +202,12 @@ class PageCache:
                     self.metrics.add("cache.partial_block_reads")
                     self.metrics.add("cache.partial_block_read_bytes",
                                      hi - block_lo)
-        self._cover(entry, start, end)
-        self._mark_dirty(entry, start, end)
+        for start, end in ranges:
+            self._cover(entry, start, end)
+            self._mark_dirty(entry, start, end)
         if self.metrics is not None:
-            self.metrics.add("cache.write_bytes", end - start)
+            self.metrics.add("cache.write_bytes",
+                             sum(e - s for s, e in ranges))
         yield from self._throttle()
         yield from self._evict_if_needed(exclude=file_id)
 

@@ -66,17 +66,47 @@ def resource_contention_once() -> int:
     return res.total_waits
 
 
-def parity_kernel_once() -> int:
-    """XOR five 1 MiB blocks (the RAID5 parity kernel)."""
-    import numpy as np
+#: Module-level scenario fixtures, built once per process.  Keeping the
+#: RNG block generation out of the timed region means the scenarios
+#: measure the code under test (XOR kernel, simulator stack) rather than
+#: ``default_rng`` — a scenario-semantics change recorded in the
+#: BENCH_simulator.json entry that introduced it.
+_FIXTURES: Dict[str, object] = {}
 
-    from repro.units import MiB
+
+def _parity_blocks():
+    blocks = _FIXTURES.get("parity_blocks")
+    if blocks is None:
+        import numpy as np
+
+        from repro.units import MiB
+
+        blocks = _FIXTURES["parity_blocks"] = [
+            np.random.default_rng(i).integers(0, 256, 1 * MiB,
+                                              dtype=np.uint8)
+            for i in range(5)]
+    return blocks
+
+
+def _content_payload(length: int):
+    key = ("payload", length)
+    payload = _FIXTURES.get(key)
+    if payload is None:
+        from repro import Payload
+
+        payload = _FIXTURES[key] = Payload.pattern(length, seed=length)
+    return payload
+
+
+def parity_kernel_once() -> int:
+    """XOR five 1 MiB blocks (the RAID5 parity kernel).
+
+    The blocks come from a module-level cached fixture so only the XOR
+    itself is timed (the RNG used to dominate this scenario).
+    """
     from repro.util.parity import xor_bytes
 
-    blocks = [np.random.default_rng(i).integers(0, 256, 1 * MiB,
-                                                dtype=np.uint8)
-              for i in range(5)]
-    return len(xor_bytes(blocks))
+    return len(xor_bytes(_parity_blocks()))
 
 
 def extent_map_churn_once() -> int:
@@ -113,6 +143,101 @@ def end_to_end_write_once() -> float:
     return 8 * chunk / elapsed
 
 
+def content_mode_write_once() -> float:
+    """Simulated bytes/second through the hybrid stack with real bytes.
+
+    The content-mode twin of ``end_to_end_write``: every payload carries
+    a real numpy buffer, so this times the scatter-gather data path —
+    slicing, parity XOR, blockfile writes — on top of the event kernel.
+    Eight aligned full-stripe chunks plus eight unaligned partials
+    exercise both the RAID5-style and the overflow write paths.
+    """
+    from repro import CSARConfig, System
+    from repro.units import KiB
+
+    system = System(CSARConfig(scheme="hybrid", num_servers=6,
+                               num_clients=1, stripe_unit=64 * KiB,
+                               content_mode=True))
+    client = system.client()
+    span = system.layout.group_span
+    chunk = 12 * span
+    big = _content_payload(chunk)
+    small = _content_payload(24 * KiB)
+
+    def work():
+        yield from client.create("f")
+        for i in range(8):
+            yield from client.write("f", i * chunk, big)
+            yield from client.write("f", i * chunk + 3 * KiB, small)
+
+    elapsed, _ = system.timed(work())
+    return 8 * chunk / elapsed
+
+
+_CONTENT_WRITE_BYTES = 8 * 12 * 5 * 64 * 1024 + 8 * 24 * 1024
+
+
+def content_mode_degraded_read_once() -> int:
+    """Degraded-mode read of a whole file with one server failed.
+
+    Every stripe unit of the failed server's share is reconstructed from
+    the survivors plus parity — the per-fragment RPC pattern the request
+    coalescer collapses into one vectored message per server.
+    """
+    from repro import CSARConfig, System
+    from repro.units import KiB
+
+    system = System(CSARConfig(scheme="hybrid", num_servers=6,
+                               num_clients=1, stripe_unit=64 * KiB,
+                               content_mode=True))
+    client = system.client()
+    span = system.layout.group_span
+    chunk = 4 * span
+    payload = _content_payload(chunk)
+
+    def setup():
+        yield from client.create("f")
+        for i in range(4):
+            yield from client.write("f", i * chunk, payload)
+
+    system.run(setup())
+    system.fail_server(2)
+
+    def reader():
+        data = yield from client.read("f", 0, 4 * chunk)
+        return data.length
+
+    return system.run(reader())
+
+
+_DEGRADED_READ_BYTES = 4 * 4 * 5 * 64 * 1024
+
+
+def payload_sg_churn_once() -> int:
+    """Pure payload algebra: slice/concat/assemble/xor_at/overlay churn.
+
+    No simulator involved — this isolates the scatter-gather payload
+    representation the data path is built on.
+    """
+    from repro import Payload
+    from repro.units import KiB
+
+    base = _content_payload(256 * KiB)
+    unit = 16 * KiB
+    total = 0
+    for i in range(200):
+        at = (i * 7919) % (base.length - 2 * unit)
+        a = base.slice(at, at + unit)
+        b = base.slice(at + unit, at + 2 * unit)
+        joined = a.concat(b)
+        gathered = Payload.assemble(
+            2 * unit, [(0, a), (unit, b)])
+        folded = joined.xor_at(0, gathered)
+        patched = folded.overlay(unit // 2, a)
+        total += patched.length
+    return total
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One benchmark: a callable plus an optional operation count."""
@@ -138,6 +263,15 @@ SCENARIOS: Dict[str, Scenario] = {
                  "2000 scattered ExtentMap adds/removes", ops=2000),
         Scenario("end_to_end_write", end_to_end_write_once,
                  "full hybrid-stack streaming write (extent mode)"),
+        Scenario("content_mode_write", content_mode_write_once,
+                 "full hybrid-stack write with real bytes (content mode)",
+                 ops=_CONTENT_WRITE_BYTES),
+        Scenario("content_mode_degraded_read", content_mode_degraded_read_once,
+                 "whole-file reconstruction read with one server failed",
+                 ops=_DEGRADED_READ_BYTES),
+        Scenario("payload_sg_churn", payload_sg_churn_once,
+                 "payload slice/concat/assemble/xor_at/overlay algebra",
+                 ops=200),
     )
 }
 
@@ -147,11 +281,19 @@ SCENARIOS: Dict[str, Scenario] = {
 # ----------------------------------------------------------------------
 def run_scenarios(names: Optional[Sequence[str]] = None,
                   repeats: int = 5) -> Dict[str, Dict[str, float]]:
-    """Best-of-``repeats`` wall time per scenario (one warm-up call)."""
-    selected = list(names) if names else list(SCENARIOS)
+    """Best-of-``repeats`` wall time per scenario (one warm-up call).
+
+    ``names=None`` runs everything; an explicit empty selection runs
+    nothing and returns an empty dict.  Unknown names raise ``ValueError``
+    rather than a bare ``KeyError`` so callers can report them cleanly.
+    """
+    selected = list(SCENARIOS) if names is None else list(names)
     results: Dict[str, Dict[str, float]] = {}
     for name in selected:
-        scenario = SCENARIOS[name]
+        scenario = SCENARIOS.get(name)
+        if scenario is None:
+            raise ValueError(
+                f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}")
         scenario.func()  # warm-up: imports, allocator, caches
         best = float("inf")
         for _ in range(max(1, repeats)):
@@ -231,7 +373,15 @@ def check_regression(baseline: Dict,
 
 def format_results(results: Dict[str, Dict[str, float]],
                    baseline: Optional[Dict] = None) -> str:
-    """Human-readable rendering, with deltas vs a baseline run if any."""
+    """Human-readable rendering, with deltas vs a baseline run if any.
+
+    An empty results dict (e.g. every requested scenario name was
+    unknown) renders as a clear message instead of crashing on
+    ``max()`` over an empty sequence.
+    """
+    if not results:
+        return ("no scenarios ran (unknown or empty selection); "
+                f"known scenarios: {', '.join(SCENARIOS)}")
     lines = []
     base_results = (baseline or {}).get("results", {})
     width = max(len(n) for n in results)

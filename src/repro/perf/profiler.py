@@ -20,13 +20,9 @@ from repro.experiments import ExpTable, get_experiment
 from repro.sim import engine
 
 
-def profile_experiment(exp_id: str, scale: Optional[float] = None,
-                       top: int = 20,
-                       sort: str = "cumulative") -> Tuple[str, ExpTable]:
-    """Run one experiment under cProfile; returns (report text, table)."""
-    exp = get_experiment(exp_id)
-    effective = exp.default_scale if scale is None else scale
-
+def _profile_call(func, title: str, top: int, sort: str):
+    """Run ``func`` under cProfile + the env-observer; returns (report,
+    func's return value)."""
     envs: List[engine.Environment] = []
     previous = engine.env_observer()
 
@@ -40,13 +36,13 @@ def profile_experiment(exp_id: str, scale: Optional[float] = None,
     try:
         profiler.enable()
         try:
-            table = exp.run(scale=effective)
+            result = func()
         finally:
             profiler.disable()
     finally:
         engine.set_env_observer(previous)
 
-    lines = [f"== profile: {exp_id} (scale {effective:g}) ==", ""]
+    lines = [f"== profile: {title} ==", ""]
     lines.append("-- kernel counters (one environment per simulated "
                  "system/phase) --")
     total_scheduled = total_dispatched = 0
@@ -68,4 +64,34 @@ def profile_experiment(exp_id: str, scale: Optional[float] = None,
     stats.sort_stats(sort).print_stats(top)
     lines.append(f"-- cProfile (top {top} by {sort}) --")
     lines.append(buffer.getvalue().rstrip())
-    return "\n".join(lines), table
+    return "\n".join(lines), result
+
+
+def profile_experiment(exp_id: str, scale: Optional[float] = None,
+                       top: int = 20,
+                       sort: str = "cumulative") -> Tuple[str, ExpTable]:
+    """Run one experiment under cProfile; returns (report text, table)."""
+    exp = get_experiment(exp_id)
+    effective = exp.default_scale if scale is None else scale
+    return _profile_call(lambda: exp.run(scale=effective),
+                         f"{exp_id} (scale {effective:g})", top, sort)
+
+
+def profile_bench(name: str, top: int = 20,
+                  sort: str = "cumulative") -> str:
+    """Run one bench scenario (``repro.perf.bench``) under cProfile.
+
+    The scenario runs once unprofiled first so module-level fixtures
+    (cached payloads, RNG blocks) are built outside the measurement —
+    the profile shows the steady-state cost the ``--check`` gate tracks.
+    """
+    from repro.errors import ConfigError
+    from repro.perf import bench
+
+    scenario = bench.SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigError(f"unknown bench scenario {name!r}; known: "
+                          f"{', '.join(bench.SCENARIOS)}")
+    scenario.func()  # warm fixtures
+    report, _value = _profile_call(scenario.func, f"bench:{name}", top, sort)
+    return report

@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ServerFailed
 from repro.hw.link import stream, transfer
 from repro.hw.node import Node
 from repro.metrics import Metrics
@@ -109,6 +109,126 @@ class PVFSClient:
         return outcomes
 
     # ------------------------------------------------------------------
+    # per-server request coalescing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_key(target, request) -> Optional[tuple]:
+        """Coalescing identity of a request, or ``None`` if unmergeable.
+
+        Only plain data/redundancy reads and writes merge; parity
+        messages carry lock protocol and overflow appends carry range
+        tables, so both always travel alone.
+        """
+        if type(request) is msg.ReadReq:
+            return (id(target), msg.ReadReq, request.file, request.kind)
+        if type(request) is msg.WriteReq:
+            return (id(target), msg.WriteReq, request.file, request.kind,
+                    request.invalidate)
+        return None
+
+    def _coalesce(self, pairs: Sequence[Tuple[Any, Any]],
+                  ) -> List[Tuple[Any, Any, List[int]]]:
+        """Plan vectored messages for ``(target, request)`` pairs.
+
+        Adjacent fragments (``prev.offset + prev.length == next.offset``)
+        of the same server/file/kind are merged into one request with one
+        header and one payload stream.  Returns ``(target, request,
+        fragment_indices)`` triples in first-fragment order; a run of one
+        keeps its original request untouched.
+        """
+        runs: List[List[int]] = []
+        open_runs: Dict[tuple, int] = {}  # merge key -> index into runs
+        ends: Dict[tuple, int] = {}       # merge key -> current end offset
+        for i, (target, request) in enumerate(pairs):
+            key = self._merge_key(target, request)
+            if key is not None and open_runs.get(key) is not None \
+                    and ends[key] == request.offset:
+                runs[open_runs[key]].append(i)
+            else:
+                if key is not None:
+                    open_runs[key] = len(runs)
+                runs.append([i])
+            if key is not None:
+                length = (request.length if type(request) is msg.ReadReq
+                          else request.payload.length)
+                ends[key] = request.offset + length
+        plan: List[Tuple[Any, Any, List[int]]] = []
+        for indices in runs:
+            target, first = pairs[indices[0]]
+            if len(indices) == 1:
+                plan.append((target, first, indices))
+                continue
+            fragments = [pairs[i][1] for i in indices]
+            if type(first) is msg.ReadReq:
+                merged = msg.ReadReq(
+                    first.file, kind=first.kind, offset=first.offset,
+                    length=sum(f.length for f in fragments), xid=first.xid)
+            else:
+                total = sum(f.payload.length for f in fragments)
+                # One merged wire message per run: the flattening here IS
+                # the coalescing win (k fragments -> one header).
+                payload = Payload.assemble(total, [  # csar-lint: disable=CSAR012
+                    (f.offset - first.offset, f.payload) for f in fragments])
+                mirror_invalidate: tuple = ()
+                for f in fragments:
+                    mirror_invalidate += f.mirror_invalidate
+                merged = msg.WriteReq(
+                    first.file, kind=first.kind, offset=first.offset,
+                    payload=payload, invalidate=first.invalidate,
+                    mirror_invalidate=mirror_invalidate, xid=first.xid)
+            plan.append((target, merged, indices))
+        return plan
+
+    def rpc_coalesced(self, pairs: Sequence[Tuple[Any, Any]],
+                      ) -> Generator[Event, Any,
+                                     List[Tuple[Any, Optional[Exception]]]]:
+        """Issue ``(target, request)`` pairs, merging adjacent fragments.
+
+        The vectored companion of :meth:`try_parallel`: per-server runs of
+        adjacent same-kind fragments travel as one message (saving a
+        header and a round-trip each), and the merged reply is split back
+        into per-fragment responses with zero-copy slices.  Returns
+        ``(response, error)`` per input pair, in order.  With
+        ``config.coalescing`` off every request travels alone.
+        """
+        if not getattr(self.scheme.config, "coalescing", True) \
+                or len(pairs) < 2:
+            plan = [(t, r, [i]) for i, (t, r) in enumerate(pairs)]
+        else:
+            plan = self._coalesce(pairs)
+            saved = len(pairs) - len(plan)
+            if saved:
+                self.metrics.add("client.coalesced_fragments", saved)
+                self.metrics.add("client.coalesced_header_bytes",
+                                 saved * msg.HEADER)
+        merged_outcomes = yield from self.try_parallel(
+            [self.rpc(target, request) for target, request, _ in plan])
+        outcomes: List[Any] = [None] * len(pairs)
+        for (target, request, indices), (response, error) in zip(
+                plan, merged_outcomes):
+            if error is not None:
+                for i in indices:
+                    outcomes[i] = (None, error)
+            elif len(indices) == 1:
+                outcomes[indices[0]] = (response, None)
+            elif type(request) is msg.ReadReq:
+                # Split the merged reply; overflow accounting (a
+                # whole-message property) rides on the first fragment.
+                cursor = 0
+                for slot, i in enumerate(indices):
+                    length = pairs[i][1].length
+                    outcomes[i] = (msg.Response(
+                        payload=response.payload.slice(cursor,
+                                                       cursor + length),
+                        overflow_bytes=(response.overflow_bytes
+                                        if slot == 0 else 0)), None)
+                    cursor += length
+            else:
+                for i in indices:
+                    outcomes[i] = (msg.Response(), None)
+        return outcomes
+
+    # ------------------------------------------------------------------
     # namespace operations
     # ------------------------------------------------------------------
     def create(self, name: str,
@@ -140,6 +260,19 @@ class PVFSClient:
             meta = self._handles[name] = response.meta
         return meta
 
+    def _open_guarded(self, name: str,
+                      ) -> Generator[Event, Any,
+                                     Tuple[Optional[FileMeta],
+                                           Optional[Exception]]]:
+        """:meth:`open` as a spawnable process: returns ``(meta, error)``
+        instead of raising, so a pipelined open can run concurrently with
+        work that must not be torn down by its failure."""
+        try:
+            meta = yield from self.open(name)
+        except ReproError as exc:
+            return (None, exc)
+        return (meta, None)
+
     def unlink(self, name: str) -> Generator[Event, Any, None]:
         yield from self.rpc(self.manager, msg.MgrUnlink(name))
         self._handles.pop(name, None)
@@ -149,12 +282,22 @@ class PVFSClient:
     # ------------------------------------------------------------------
     def write(self, name: str, offset: int,
               payload: Payload) -> Generator[Event, Any, None]:
-        meta = yield from self.open(name)
+        # First touch: the manager open overlaps the client-side entry
+        # costs (trace record, kernel-module crossing).  The write itself
+        # cannot speculate past the open — placement depends on the
+        # file's scheme, which only the open reveals.
+        meta = self._handles.get(name)
+        open_proc = None if meta is not None else self.env.process(
+            self._open_guarded(name))
         if self.tracer is not None:
             self.tracer.record(self.index, "write", name, offset,
                                payload.length)
         if self.via_kernel_module:
             yield from self.node.cpu.kernel_module_crossing()
+        if open_proc is not None:
+            meta, error = yield open_proc
+            if error is not None:
+                raise error
         yield from self.scheme_for(meta).write(self, meta, offset, payload)
         end = offset + payload.length
         if end > meta.size:
@@ -163,15 +306,61 @@ class PVFSClient:
 
     def read(self, name: str, offset: int,
              length: int) -> Generator[Event, Any, Payload]:
-        meta = yield from self.open(name)
         if self.tracer is not None:
             self.tracer.record(self.index, "read", name, offset, length)
         if self.via_kernel_module:
             yield from self.node.cpu.kernel_module_crossing()
-        payload = yield from self.scheme_for(meta).read(self, meta, offset,
-                                                         length)
+        meta = self._handles.get(name)
+        if meta is None:
+            payload = yield from self._speculative_read(name, offset, length)
+        else:
+            payload = yield from self.scheme_for(meta).read(self, meta,
+                                                            offset, length)
         self.metrics.add("client.bytes_read", length)
         return payload
+
+    def _speculative_read(self, name: str, offset: int, length: int,
+                          ) -> Generator[Event, Any, Payload]:
+        """First-touch read: pipeline the manager open with the data RPCs.
+
+        Normal-operation reads are scheme-independent — redundancy is
+        never read (Section 4) and striping geometry is deployment-global
+        — so the striped fetches may race the open.  Server-side reads
+        leave no state behind (:meth:`LocalFS.read` never creates files),
+        so a failed open leaks nothing.  On any fetch failure the real
+        meta is awaited and the read retried through the scheme, which
+        knows how to reconstruct.
+        """
+        open_proc = self.env.process(self._open_guarded(name))
+        ranges = self.manager.layout.map_range(offset, length)
+
+        def fetch(sr):
+            if sr.server in self.suspected:
+                self.metrics.add("client.failfast_reads")
+                raise ServerFailed(f"iod{sr.server} suspected")
+            response = yield from self.rpc(
+                self.iods[sr.server],
+                msg.ReadReq(name, kind="data", offset=sr.local_start,
+                            length=sr.length, xid=self.next_xid()))
+            return response
+
+        outcomes = yield from self.try_parallel([fetch(sr) for sr in ranges])
+        meta, open_error = yield open_proc
+        if open_error is not None:
+            raise open_error
+        parts: List[Tuple[int, Payload]] = []
+        for sr, (response, error) in zip(ranges, outcomes):
+            if error is not None:
+                if not isinstance(error, ServerFailed):
+                    raise error
+                return (yield from self.scheme_for(meta).read(
+                    self, meta, offset, length))
+            for p in sr.pieces:
+                local = p.local_offset - sr.local_start
+                parts.append((p.logical_offset - offset,
+                              response.payload.slice(local,
+                                                     local + p.length)))
+        return Payload.assemble(length, parts)
 
     def fsync(self, name: str) -> Generator[Event, Any, None]:
         """Flush the file's local files on every I/O server."""

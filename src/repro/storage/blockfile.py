@@ -4,19 +4,24 @@ Each I/O daemon keeps several of these per PVFS file — the data file, the
 redundancy (mirror or parity) file, and under the Hybrid scheme the
 overflow files.  ``BlockFile`` is purely functional state; all timing goes
 through the :class:`repro.hw.cache.PageCache` in :class:`repro.storage.localfs.LocalFS`.
+
+Content is stored in fixed-size pages allocated on first touch, like the
+sparse files it models: a streaming append never copies old data (the
+contiguous-buffer representation spent more time growing the buffer than
+landing bytes), holes cost nothing, and page allocation is lazy calloc.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict
 
 import numpy as np
 
 from repro.storage.payload import Payload
 from repro.util.intervals import ExtentMap
 
-#: Content arrays grow in chunks of this many bytes to amortize resizing.
-_GROW = 1 << 20
+#: Content page size: allocation and copy granularity of the store.
+_PAGE = 1 << 20
 
 
 class BlockFile:
@@ -30,8 +35,7 @@ class BlockFile:
         self.name = name
         self.content_mode = content_mode
         self.allocated = ExtentMap()
-        self._buf: Optional[np.ndarray] = (
-            np.zeros(0, dtype=np.uint8) if content_mode else None)
+        self._pages: Dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -44,16 +48,41 @@ class BlockFile:
         """What ``du`` would report (ignoring holes)."""
         return self.allocated.total()
 
-    def _ensure_capacity(self, end: int) -> None:
-        assert self._buf is not None
-        if end > self._buf.size:
-            new_size = max(end, self._buf.size + _GROW)
-            grown = np.zeros(new_size, dtype=np.uint8)
-            grown[: self._buf.size] = self._buf
-            self._buf = grown
+    def _page(self, index: int) -> np.ndarray:
+        page = self._pages.get(index)
+        if page is None:
+            page = self._pages[index] = np.zeros(_PAGE, dtype=np.uint8)
+        return page
+
+    def _store(self, lo: int, arr: np.ndarray) -> None:
+        """Copy ``arr`` into the page store at byte offset ``lo``."""
+        cursor, apos, end = lo, 0, lo + arr.size
+        while cursor < end:
+            index, intra = divmod(cursor, _PAGE)
+            take = min(_PAGE - intra, end - cursor)
+            self._page(index)[intra: intra + take] = arr[apos: apos + take]
+            cursor += take
+            apos += take
+
+    def _zero(self, lo: int, hi: int) -> None:
+        """Zero ``[lo, hi)`` without allocating untouched pages."""
+        cursor = lo
+        while cursor < hi:
+            index, intra = divmod(cursor, _PAGE)
+            take = min(_PAGE - intra, hi - cursor)
+            page = self._pages.get(index)
+            if page is not None:
+                page[intra: intra + take] = 0
+            cursor += take
 
     # ------------------------------------------------------------------
     def write(self, offset: int, payload: Payload) -> None:
+        """Store ``payload`` at ``offset``.
+
+        Consumes the payload segment-wise, so scatter-gathered writes
+        land without ever flattening; gaps between segments are written
+        as zeros (they are part of the payload's content).
+        """
         if offset < 0:
             raise ValueError(f"negative offset {offset}")
         if payload.length == 0:
@@ -64,8 +93,15 @@ class BlockFile:
             if payload.is_virtual:
                 raise ValueError(
                     f"virtual payload written to content-mode file {self.name}")
-            self._ensure_capacity(end)
-            self._buf[offset:end] = payload.data
+            cursor = offset
+            for at, seg in payload.iter_segments():
+                lo = offset + at
+                if lo > cursor:
+                    self._zero(cursor, lo)
+                self._store(lo, seg)
+                cursor = lo + seg.size
+            if end > cursor:
+                self._zero(cursor, end)
 
     def read(self, offset: int, length: int) -> Payload:
         if offset < 0 or length < 0:
@@ -74,10 +110,16 @@ class BlockFile:
             return Payload.virtual(length)
         end = offset + length
         out = np.zeros(length, dtype=np.uint8)
-        avail = min(end, self._buf.size)
-        if avail > offset:
-            out[: avail - offset] = self._buf[offset:avail]
-        # Mask out holes so stale buffer growth never leaks.
+        cursor = offset
+        while cursor < end:
+            index, intra = divmod(cursor, _PAGE)
+            take = min(_PAGE - intra, end - cursor)
+            page = self._pages.get(index)
+            if page is not None:
+                out[cursor - offset: cursor - offset + take] = \
+                    page[intra: intra + take]
+            cursor += take
+        # Mask out holes so punched/stale page content never leaks.
         for gap_start, gap_end in self.allocated.gaps_iter(offset, end):
             out[gap_start - offset: gap_end - offset] = 0
         return Payload(length, out)
@@ -85,16 +127,13 @@ class BlockFile:
     def punch_hole(self, offset: int, length: int) -> None:
         """Deallocate a range (used by the overflow reclaimer)."""
         self.allocated.remove(offset, offset + length)
-        if self.content_mode and self._buf is not None:
-            end = min(offset + length, self._buf.size)
-            if end > offset:
-                self._buf[offset:end] = 0
+        if self.content_mode:
+            self._zero(offset, offset + length)
 
     def truncate(self) -> None:
         """Drop all contents."""
         self.allocated.clear()
-        if self.content_mode:
-            self._buf = np.zeros(0, dtype=np.uint8)
+        self._pages.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "content" if self.content_mode else "extent"

@@ -22,7 +22,12 @@ from repro.errors import FileNotFound
 from repro.sim.engine import Event
 from repro.storage.blockfile import BlockFile
 from repro.storage.payload import Payload
+from repro.util.intervals import ExtentMap
 from repro.hw.node import Node
+
+#: Shared allocation map for reads of files that were never written:
+#: everything is a hole, and reading must not create server-side state.
+_NO_EXTENTS = ExtentMap()
 
 
 class LocalFS:
@@ -78,12 +83,40 @@ class LocalFS:
             cut_points=self._cut_points(offset, payload.length))
         f.write(offset, payload)
 
+    def write_gather(self, name: str,
+                     parts: List[tuple[int, Payload]],
+                     ) -> Generator[Event, Any, None]:
+        """Timed vectored write: several (offset, payload) pieces of one
+        request charge the cache in a single pass (one throttle/eviction
+        round, like a local ``writev``) before landing in the block file.
+        """
+        f = self._get(name, create=True)
+        parts = [(off, p) for off, p in parts if p.length]
+        if not parts:
+            return
+        ranges = [(off, off + p.length) for off, p in parts]
+        cut_points = [c for off, p in parts
+                      for c in self._cut_points(off, p.length)]
+        yield from self.node.cache.write_many(
+            self._file_id(name), ranges, f.allocated, cut_points)
+        for off, p in parts:
+            f.write(off, p)
+
     def read(self, name: str, offset: int, length: int,
              ) -> Generator[Event, Any, Payload]:
-        """Timed read; sparse holes read back as zeros for free."""
-        f = self._get(name, create=True)
+        """Timed read; sparse holes read back as zeros for free.
+
+        Reading never creates the file: a read of a name this server has
+        no data for (an unwritten stripe, or a speculative read racing
+        the manager open) returns zeros without leaving state behind.
+        """
+        f = self.files.get(name)
+        allocated = f.allocated if f is not None else _NO_EXTENTS
         yield from self.node.cache.read(
-            self._file_id(name), offset, offset + length, f.allocated)
+            self._file_id(name), offset, offset + length, allocated)
+        if f is None:
+            return (Payload.sparse(length) if self.content_mode
+                    else Payload.virtual(length))
         return f.read(offset, length)
 
     def fsync(self, name: str) -> Generator[Event, Any, None]:

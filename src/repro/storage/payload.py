@@ -10,21 +10,44 @@ identical because the hardware models only ever look at lengths.
 
 Mixing is handled conservatively: any operation involving a virtual operand
 yields a virtual result.
+
+Content-mode payloads are **zero-copy**: ``slice()`` returns a read-only
+numpy *view* of the source buffer, and ``concat``/``assemble``/``overlay``
+build a :class:`SegmentedPayload` — a rope of ``(offset, array)`` segments
+over the original buffers — instead of allocating.  Buffers are frozen
+(``writeable=False``) when a payload captures them, so immutability is
+preserved even though views alias their sources.  The bytes are only
+materialized into one contiguous buffer at content-verification
+boundaries: ``data``/``to_bytes``/``__eq__`` (and a defensive cap on
+segment-count growth).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.util.parity import xor_bytes
+from repro.util.parity import xor_into_at, xor_segments
+
+#: A rope with more segments than this is materialized into one buffer;
+#: deep overlay chains would otherwise degrade every later operation.
+_MAX_SEGMENTS = 256
+
+#: One ``(offset, uint8-array)`` fragment of a payload's content.
+Segment = Tuple[int, np.ndarray]
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    if arr.flags.writeable:
+        arr.flags.writeable = False
+    return arr
 
 
 class Payload:
     """An immutable byte string of known length, possibly virtual."""
 
-    __slots__ = ("length", "data")
+    __slots__ = ("length", "_data")
 
     def __init__(self, length: int, data: Optional[np.ndarray]) -> None:
         if length < 0:
@@ -35,8 +58,12 @@ class Payload:
             if data.size != length:
                 raise ValueError(
                     f"payload length {length} != data size {data.size}")
+            # Freeze the buffer: payloads are immutable, and slices are
+            # views, so the backing store must never change underneath a
+            # previously taken slice.
+            _freeze(data)
         self.length = length
-        self.data = data
+        self._data = data
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -47,6 +74,16 @@ class Payload:
     @classmethod
     def zeros(cls, length: int) -> "Payload":
         return cls(length, np.zeros(length, dtype=np.uint8))
+
+    @classmethod
+    def sparse(cls, length: int) -> "Payload":
+        """All-zero content without allocating: an empty rope.
+
+        Observably identical to :meth:`zeros` but free to build and free
+        to overlay onto — the I/O daemons use it as the base for
+        overflow-resolution reads.
+        """
+        return SegmentedPayload(length, ())
 
     @classmethod
     def virtual(cls, length: int) -> "Payload":
@@ -60,8 +97,13 @@ class Payload:
 
     # -- predicates --------------------------------------------------------
     @property
+    def data(self) -> Optional[np.ndarray]:
+        """The content as one read-only array (``None`` when virtual)."""
+        return self._data
+
+    @property
     def is_virtual(self) -> bool:
-        return self.data is None
+        return self._data is None
 
     def __len__(self) -> int:
         return self.length
@@ -82,6 +124,24 @@ class Payload:
         kind = "virtual" if self.is_virtual else "real"
         return f"<Payload {kind} len={self.length}>"
 
+    # -- scatter-gather protocol -------------------------------------------
+    def iter_segments(self) -> Iterator[Segment]:
+        """The content as ascending, disjoint ``(offset, array)`` pieces.
+
+        Uncovered gaps are zeros.  Virtual payloads yield nothing —
+        callers must check :attr:`is_virtual` first, exactly as with
+        :attr:`data`.
+        """
+        if self._data is not None and self.length:
+            yield (0, self._data)
+
+    def _writable_copy(self) -> np.ndarray:
+        """Materialize the content into a fresh writable buffer."""
+        buf = np.zeros(self.length, dtype=np.uint8)
+        for at, seg in self.iter_segments():
+            buf[at: at + seg.size] = seg
+        return buf
+
     # -- operations ---------------------------------------------------------
     def to_bytes(self) -> bytes:
         if self.is_virtual:
@@ -89,26 +149,29 @@ class Payload:
         return self.data.tobytes()
 
     def slice(self, start: int, end: int) -> "Payload":
+        """A read-only zero-copy view of ``[start, end)``."""
         if not (0 <= start <= end <= self.length):
             raise ValueError(
                 f"slice [{start},{end}) outside payload of {self.length}")
         if self.is_virtual:
             return Payload.virtual(end - start)
-        return Payload(end - start, self.data[start:end].copy())
+        return Payload(end - start, self._data[start:end])
 
     def concat(self, other: "Payload") -> "Payload":
         if self.is_virtual or other.is_virtual:
             return Payload.virtual(self.length + other.length)
-        return Payload(self.length + other.length,
-                       np.concatenate([self.data, other.data]))
+        segments = list(self.iter_segments())
+        segments.extend((self.length + at, seg)
+                        for at, seg in other.iter_segments())
+        return _from_segments(self.length + other.length, segments)
 
     @staticmethod
     def xor(parts: Sequence["Payload"], length: int) -> "Payload":
         """Parity of ``parts``, zero-padded/truncated to ``length``."""
         if any(p.is_virtual for p in parts):
             return Payload.virtual(length)
-        raw = xor_bytes([p.data for p in parts], length=length)
-        return Payload.from_bytes(raw)
+        acc = xor_segments((p.iter_segments() for p in parts), length)
+        return Payload(length, acc)
 
     @classmethod
     def assemble(cls, length: int,
@@ -116,16 +179,31 @@ class Payload:
         """Build a payload of ``length`` from ``(offset, piece)`` parts.
 
         Unfilled gaps are zeros; any virtual part makes the result virtual.
+        Disjoint parts (the scatter-gather common case) are chained as
+        segments without copying; overlapping parts fall back to
+        materializing, with later parts overwriting earlier ones.
         """
         if any(piece.is_virtual for _at, piece in parts):
             return cls.virtual(length)
-        buf = np.zeros(length, dtype=np.uint8)
         for at, piece in parts:
             if at < 0 or at + piece.length > length:
                 raise ValueError(
                     f"part [{at}, +{piece.length}) outside payload of {length}")
-            buf[at: at + piece.length] = piece.data
-        return cls(length, buf)
+        placed = sorted((at, i, piece) for i, (at, piece) in enumerate(parts)
+                        if piece.length)
+        segments: List[Segment] = []
+        prev_end = 0
+        for at, _i, piece in placed:
+            if at < prev_end:
+                # Overlap: list order decides who wins — materialize.
+                buf = np.zeros(length, dtype=np.uint8)
+                for p_at, p in parts:
+                    buf[p_at: p_at + p.length] = p.data
+                return Payload(length, buf)
+            segments.extend((at + s_at, seg)
+                            for s_at, seg in piece.iter_segments())
+            prev_end = at + piece.length
+        return _from_segments(length, segments)
 
     def xor_at(self, at: int, other: "Payload") -> "Payload":
         """A copy with ``other`` XOR-ed into the region starting at ``at``.
@@ -133,15 +211,26 @@ class Payload:
         The RAID5 read-modify-write primitive: fold an old/new data delta
         into the matching region of a parity block.
         """
-        if at < 0 or at + other.length > self.length:
-            raise ValueError(
-                f"xor region [{at}, +{other.length}) outside payload "
-                f"of {self.length}")
-        if self.is_virtual or other.is_virtual:
+        return self.xor_at_many([(at, other)])
+
+    def xor_at_many(self, patches: Sequence[tuple[int, "Payload"]],
+                    ) -> "Payload":
+        """A copy with every ``(at, payload)`` patch XOR-ed in.
+
+        One materialization for the whole fold — the RMW delta loop used
+        to copy the parity buffer once per piece.
+        """
+        for at, other in patches:
+            if at < 0 or at + other.length > self.length:
+                raise ValueError(
+                    f"xor region [{at}, +{other.length}) outside payload "
+                    f"of {self.length}")
+        if self.is_virtual or any(p.is_virtual for _at, p in patches):
             return Payload.virtual(self.length)
-        buf = self.data.copy()
-        np.bitwise_xor(buf[at: at + other.length], other.data,
-                       out=buf[at: at + other.length])
+        buf = self._writable_copy()
+        for at, other in patches:
+            for s_at, seg in other.iter_segments():
+                xor_into_at(buf, at + s_at, seg)
         return Payload(self.length, buf)
 
     def overlay(self, at: int, patch: "Payload") -> "Payload":
@@ -150,7 +239,102 @@ class Payload:
         new_len = max(self.length, end)
         if self.is_virtual or patch.is_virtual:
             return Payload.virtual(new_len)
-        buf = np.zeros(new_len, dtype=np.uint8)
-        buf[: self.length] = self.data
-        buf[at:end] = patch.data
-        return Payload(new_len, buf)
+        segments = list(_clipped(self.iter_segments(), 0, at))
+        segments.extend((at + s_at, seg) for s_at, seg in
+                        patch.iter_segments())
+        segments.extend(_clipped(self.iter_segments(), end, self.length))
+        return _from_segments(new_len, segments)
+
+
+class SegmentedPayload(Payload):
+    """A rope: content stored as disjoint segments over shared buffers.
+
+    Built by ``concat``/``assemble``/``overlay`` so the scatter-gather
+    path never copies; materializes (once, cached) when something needs
+    the content as a single contiguous array.
+    """
+
+    __slots__ = ("_segments",)
+
+    def __init__(self, length: int,
+                 segments: Sequence[Segment]) -> None:
+        super().__init__(length, None)
+        prev_end = 0
+        for at, seg in segments:
+            if seg.dtype != np.uint8:
+                raise TypeError("payload data must be uint8")
+            if at < prev_end or at + seg.size > length:
+                raise ValueError(
+                    f"segment [{at}, +{seg.size}) invalid in payload "
+                    f"of {length}")
+            _freeze(seg)
+            prev_end = at + seg.size
+        self._segments = tuple(segments)
+
+    @property
+    def data(self) -> np.ndarray:
+        buf = self._data
+        if buf is None:
+            buf = self._writable_copy()
+            buf.flags.writeable = False
+            self._data = buf
+        return buf
+
+    @property
+    def is_virtual(self) -> bool:
+        return False
+
+    def iter_segments(self) -> Iterator[Segment]:
+        if self._data is not None:
+            # Already materialized: one contiguous segment is cheaper for
+            # consumers than re-walking the rope.
+            yield from Payload.iter_segments(self)
+        else:
+            yield from self._segments
+
+    def _writable_copy(self) -> np.ndarray:
+        buf = np.zeros(self.length, dtype=np.uint8)
+        for at, seg in self.iter_segments():
+            buf[at: at + seg.size] = seg
+        return buf
+
+    def slice(self, start: int, end: int) -> "Payload":
+        if not (0 <= start <= end <= self.length):
+            raise ValueError(
+                f"slice [{start},{end}) outside payload of {self.length}")
+        if self._data is not None:
+            return Payload(end - start, self._data[start:end])
+        return _from_segments(
+            end - start, list(_clipped(self._segments, start, end, -start)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<SegmentedPayload len={self.length} "
+                f"segments={len(self._segments)}>")
+
+
+def _clipped(segments, start: int, end: int,
+             shift: int = 0) -> Iterator[Segment]:
+    """Segments clipped to ``[start, end)``, offsets shifted by ``shift``."""
+    if end <= start:
+        return
+    for at, seg in segments:
+        seg_end = at + seg.size
+        if seg_end <= start or at >= end:
+            continue
+        lo = max(at, start)
+        hi = min(seg_end, end)
+        yield (lo + shift, seg[lo - at: hi - at])
+
+
+def _from_segments(length: int, segments: List[Segment]) -> Payload:
+    """The cheapest payload holding ``segments`` (ascending, disjoint)."""
+    if len(segments) == 1:
+        at, seg = segments[0]
+        if at == 0 and seg.size == length:
+            return Payload(length, seg)
+    if len(segments) > _MAX_SEGMENTS:
+        buf = np.zeros(length, dtype=np.uint8)
+        for at, seg in segments:
+            buf[at: at + seg.size] = seg
+        return Payload(length, buf)
+    return SegmentedPayload(length, segments)

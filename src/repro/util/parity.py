@@ -43,6 +43,44 @@ def xor_into(acc: np.ndarray, buf: bytes | bytearray | memoryview | np.ndarray) 
     np.bitwise_xor(acc[: other.size], other, out=acc[: other.size])
 
 
+def xor_into_at(acc: np.ndarray, at: int,
+                buf: bytes | bytearray | memoryview | np.ndarray) -> None:
+    """XOR ``buf`` into ``acc[at : at+len(buf)]`` in place.
+
+    The strided companion of :func:`xor_into`: segment lists from a
+    scatter-gather payload fold straight into one accumulator, so RMW
+    parity deltas and stripe parity never build intermediate buffers.
+    """
+    other = _as_u8(buf)
+    if at < 0 or at + other.size > acc.size:
+        raise ValueError(
+            f"xor region [{at}, +{other.size}) outside accumulator "
+            f"of {acc.size}")
+    np.bitwise_xor(acc[at: at + other.size], other,
+                   out=acc[at: at + other.size])
+
+
+def xor_segments(parts: Iterable[Iterable[tuple[int, np.ndarray]]],
+                 length: int) -> np.ndarray:
+    """Fold ``(offset, uint8-array)`` segment lists into fresh parity.
+
+    Each element of ``parts`` is one operand's segment list (uncovered
+    gaps are zeros, contributing nothing to the XOR); segments past
+    ``length`` are clipped, shorter operands are zero-padded — the same
+    end-of-stripe semantics as :func:`xor_bytes`, without flattening any
+    operand first.
+    """
+    acc = np.zeros(length, dtype=np.uint8)
+    for segments in parts:
+        for at, seg in segments:
+            if at >= length:
+                continue
+            if at + seg.size > length:
+                seg = seg[: length - at]
+            xor_into_at(acc, at, seg)
+    return acc
+
+
 def xor_bytes(blocks: Iterable[bytes | bytearray | memoryview | np.ndarray],
               length: int | None = None) -> bytes:
     """Word-at-a-time XOR of all ``blocks``; result length is the maximum

@@ -1,0 +1,70 @@
+"""csar-lint fixture: CSAR012 (payload-copy-in-hot-loop).
+
+Lives under a ``pvfs/`` path segment so the data-path payload rule
+applies.  ``Payload`` here is a stand-in — the rule is name-based, like
+CSAR006.
+"""
+
+
+class Payload:
+    @staticmethod
+    def concat(parts):
+        return parts
+
+    @staticmethod
+    def assemble(length, parts):
+        return parts
+
+
+def per_fragment_concat(chunks):
+    acc = Payload.concat([])
+    for chunk in chunks:
+        acc = Payload.concat([acc, chunk])  # expect: CSAR012
+    return acc
+
+
+def flatten_each_reply(replies):
+    return [r.payload.to_bytes() for r in replies]  # expect: CSAR012
+
+
+def assemble_per_iteration(runs):
+    out = []
+    while runs:
+        parts = runs.pop()
+        out.append(Payload.assemble(len(parts), parts))  # expect: CSAR012
+    return out
+
+
+def nested_loops(batches):
+    out = []
+    for batch in batches:
+        for run in batch:
+            out.append(run.to_bytes())  # expect: CSAR012
+    return out
+
+
+def assemble_once_is_fine(chunks):
+    # Build the segment list in the loop, materialise once at the end.
+    parts = []
+    at = 0
+    for chunk in chunks:
+        parts.append((at, chunk))
+        at += chunk.length
+    return Payload.assemble(at, parts)
+
+
+def cold_loop_suppressed(manifests):
+    out = []
+    for m in manifests:
+        # Startup-only manifest decode; runs once per mounted file.
+        out.append(m.to_bytes())  # csar-lint: disable=CSAR012
+    return out
+
+
+def bare_call_is_not_ours(rows):
+    # A plain function named assemble (no attribute receiver) is some
+    # other module's business, not a Payload flattening.
+    def assemble(row):
+        return row
+
+    return [assemble(row) for row in rows]

@@ -13,7 +13,9 @@ class TestScenarios:
         # two views of "the simulator's perf" in sync.
         assert set(bench.SCENARIOS) == {
             "engine_event_throughput", "resource_contention",
-            "parity_kernel", "extent_map_churn", "end_to_end_write"}
+            "parity_kernel", "extent_map_churn", "end_to_end_write",
+            "content_mode_write", "content_mode_degraded_read",
+            "payload_sg_churn"}
 
     def test_engine_scenario_runs_to_completion(self):
         assert bench.engine_events_once() == 200.0

@@ -55,11 +55,28 @@ class TestOperations:
         with pytest.raises(ValueError):
             Payload.zeros(4).slice(2, 6)
 
-    def test_slice_is_a_copy(self):
+    def test_slice_is_an_immutable_view(self):
+        # Slices are zero-copy views, and immutability is preserved by
+        # freezing the buffers: neither the slice nor its source can be
+        # mutated through .data.
         p = Payload.from_bytes(b"abc")
         s = p.slice(0, 2)
-        s.data[0] = 0
+        assert not s.data.flags.writeable
+        assert not p.data.flags.writeable
+        with pytest.raises(ValueError):
+            s.data[0] = 0
         assert p.to_bytes() == b"abc"
+        assert s.to_bytes() == b"ab"
+
+    def test_source_mutation_cannot_corrupt_slices(self):
+        # A buffer handed to a Payload is frozen at construction, so the
+        # "mutate the source after slicing" hazard of views cannot occur.
+        buf = np.frombuffer(b"abc", dtype=np.uint8).copy()
+        p = Payload(3, buf)
+        s = p.slice(1, 3)
+        with pytest.raises(ValueError):
+            buf[1] = 0
+        assert s.to_bytes() == b"bc"
 
     def test_virtual_slice(self):
         assert Payload.virtual(10).slice(2, 7).is_virtual
