@@ -1,34 +1,156 @@
 """Correctness tooling for the CSAR reproduction.
 
-Two cooperating layers guard the Section 5.1 parity-lock protocol and
-the generator-process style it is written in:
+Three cooperating layers guard the Section 5.1 parity-lock protocol,
+the redundancy invariants, and the zero-copy buffer discipline:
 
 * :mod:`repro.analysis.lint` — ``csar-lint``, an AST-based static
-  checker with CSAR-specific rules (``csar-repro lint src``);
+  checker with CSAR-specific rules (``csar-repro lint src``), including
+  the buffer-provenance rules of :mod:`repro.analysis.bufflow`;
 * :mod:`repro.analysis.locksan` — LockSan, an opt-in runtime sanitizer
   that tracks held-lock sets and a wait-for graph while a simulation
-  runs (``csar-repro run --sanitize``, ``CSAR_LOCKSAN=1`` for tests).
+  runs (``csar-repro run --sanitize=lock``, ``CSAR_LOCKSAN=1``);
+* :mod:`repro.analysis.paritysan` — ParitySan, checking parity/mirror/
+  overflow consistency at quiescent points (``--sanitize=parity``,
+  ``CSAR_PARITYSAN=1``);
+* :mod:`repro.analysis.bufsan` — BufSan, fingerprinting every buffer a
+  payload captures and re-verifying it at the same sync points
+  (``--sanitize=buf``, ``CSAR_BUFSAN=1``).
 
 See ``docs/ANALYSIS.md`` for every rule with an offending snippet and
 its fix.
 """
 
-from repro.analysis.lint import (Finding, format_json, format_text,
+from __future__ import annotations
+
+import importlib
+import weakref
+from typing import Any, Iterable, List, Tuple
+
+
+class SanitizerRegistry:
+    """Weak-ref registry of the live instances of one sanitizer kind.
+
+    LockSan, ParitySan, and BufSan each keep one module-level registry:
+    instances register themselves at construction, and
+    ``drain_reports()`` sweeps reports across every live instance
+    without threading them through.  Drains keep live sanitizers
+    registered (their Environments may keep running), so reports made
+    after a drain are still seen; dead ones are swept out.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._active: List["weakref.ref[Any]"] = []
+
+    def register(self, sanitizer: Any) -> None:
+        self._active.append(weakref.ref(sanitizer))
+
+    def live(self) -> List[Any]:
+        """Every live registered sanitizer (sweeps dead refs)."""
+        out: List[Any] = []
+        refs: List["weakref.ref[Any]"] = []
+        for ref in self._active:
+            sanitizer = ref()
+            if sanitizer is None:
+                continue
+            out.append(sanitizer)
+            refs.append(ref)
+        self._active[:] = refs
+        return out
+
+    def drain(self) -> List[Any]:
+        """Collect (and clear) reports from every live sanitizer."""
+        out: List[Any] = []
+        for sanitizer in self.live():
+            out.extend(sanitizer.reports)
+            sanitizer.reports = []
+        return out
+
+
+# ----------------------------------------------------------------------
+# sanitizer mode composition (``--sanitize=lock|parity|buf|all``)
+# ----------------------------------------------------------------------
+#: mode name -> implementing module; every module exposes the same
+#: ``install() / uninstall() / installed() / drain_reports()`` surface.
+SANITIZER_MODULES = {
+    "lock": "repro.analysis.locksan",
+    "parity": "repro.analysis.paritysan",
+    "buf": "repro.analysis.bufsan",
+}
+
+
+def sanitize_modes(sanitize: "str | bool | None") -> Tuple[str, ...]:
+    """Decode a ``--sanitize`` value into a tuple of mode names.
+
+    Accepts the CLI strings ``"lock"`` / ``"parity"`` / ``"buf"`` /
+    ``"all"`` plus the legacy booleans (``True`` meant LockSan only).
+    """
+    if not sanitize:
+        return ()
+    if sanitize is True:
+        return ("lock",)
+    if sanitize == "all":
+        return tuple(sorted(SANITIZER_MODULES))
+    if sanitize in SANITIZER_MODULES:
+        return (str(sanitize),)
+    raise ValueError(f"unknown sanitize mode {sanitize!r} "
+                     f"(expected {'|'.join(sorted(SANITIZER_MODULES))}|all)")
+
+
+def sanitizer_module(mode: str):
+    """The implementing module of one sanitizer mode."""
+    return importlib.import_module(SANITIZER_MODULES[mode])
+
+
+def install_sanitizers(modes: Iterable[str]) -> None:
+    for mode in modes:
+        module = sanitizer_module(mode)
+        if not module.installed():
+            module.install()
+
+
+def uninstall_sanitizers(modes: Iterable[str]) -> None:
+    for mode in modes:
+        sanitizer_module(mode).uninstall()
+
+
+def drain_sanitizer_reports(modes: Iterable[str]) -> List[Any]:
+    """Sweep reports (in mode order) across the given sanitizer kinds."""
+    out: List[Any] = []
+    for mode in modes:
+        out.extend(sanitizer_module(mode).drain_reports())
+    return out
+
+
+from repro.analysis.bufsan import BufSan, BufSanReport  # noqa: E402
+from repro.analysis.lint import (Finding, format_json, format_text,  # noqa: E402
                                  lint_file, lint_paths, lint_source)
-from repro.analysis.locksan import LockSan, LockSanReport, drain_reports
-from repro.analysis.rules import RULES, Rule, all_codes
+from repro.analysis.locksan import LockSan, LockSanReport, drain_reports  # noqa: E402
+from repro.analysis.paritysan import ParitySan, ParitySanReport  # noqa: E402
+from repro.analysis.rules import RULES, Rule, all_codes  # noqa: E402
 
 __all__ = [
+    "BufSan",
+    "BufSanReport",
     "Finding",
     "LockSan",
     "LockSanReport",
+    "ParitySan",
+    "ParitySanReport",
     "RULES",
     "Rule",
+    "SANITIZER_MODULES",
+    "SanitizerRegistry",
     "all_codes",
     "drain_reports",
+    "drain_sanitizer_reports",
     "format_json",
     "format_text",
+    "install_sanitizers",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "sanitize_modes",
+    "sanitizer_module",
+    "uninstall_sanitizers",
 ]

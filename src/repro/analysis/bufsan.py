@@ -1,0 +1,261 @@
+"""BufSan: a runtime sanitizer for the zero-copy buffer discipline.
+
+The zero-copy payload path (read-only numpy views, ``SegmentedPayload``
+ropes, the one-scratch-buffer ``xor_at_many``) makes every content-mode
+payload a *shared alias*: the same bytes may simultaneously back a
+client's write, a server's stored block, a parity delta, and an
+overflow-mirror entry.  The whole scheme is sound only if a buffer never
+changes after a payload captures it.  LockSan checks the lock protocol
+and ParitySan checks redundancy *state*; BufSan checks buffer
+*identity* — the invariant the other two silently assume.
+
+When installed (:func:`install`, the CLI's ``run --sanitize=buf``, or
+``CSAR_BUFSAN=1`` honored by the test suite's ``conftest``), every new
+:class:`~repro.sim.engine.Environment` gets a :class:`BufSan` as
+``env.bufsan``, and :func:`repro.storage.payload.set_capture_hook`
+routes every buffer capture here.  At the moment a
+:class:`~repro.storage.payload.Payload` (or rope segment, or
+materialized rope cache) captures an array, BufSan fingerprints its
+bytes (xxhash when available, BLAKE2b otherwise); the fingerprint is
+re-verified
+
+* immediately, whenever the **same array object is captured again** —
+  this catches scratch-buffer reuse at the exact process and sim-time
+  of the mutating write;
+* at the same sync points ParitySan uses: ``on_quiescent()`` from
+  ``System.run``, ``on_run_complete()`` when the event heap drains,
+  ``on_recovery(index)`` after a rebuild, and (with ``per_write=True``)
+  whenever the in-flight write count returns to zero.
+
+Any mismatch means some code thawed (``flags.writeable = True``) or
+otherwise mutated a buffer after sharing it — exactly what the static
+rules CSAR013–015 (:mod:`repro.analysis.bufflow`) prove absent; BufSan
+is the dynamic witness for schedules the static scope misses.
+Violations collect as :class:`BufSanReport` entries (swept by
+:func:`drain_reports`); pass ``strict=True`` to raise
+:class:`~repro.errors.BufSanError` on the first one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis import SanitizerRegistry
+from repro.errors import BufSanError
+
+try:  # pragma: no cover - exercised only where xxhash is installed
+    import xxhash
+
+    def _digest(data: bytes) -> str:
+        return xxhash.xxh64(data).hexdigest()
+except ImportError:  # stdlib fallback, same 64-bit width
+    def _digest(data: bytes) -> str:
+        return hashlib.blake2b(data, digest_size=8).hexdigest()
+
+#: Every live sanitizer; the payload capture hook fans out to these.
+_REGISTRY = SanitizerRegistry("bufsan")
+
+
+@dataclass(frozen=True)
+class BufSanReport:
+    """One buffer observed to change after a payload captured it."""
+
+    kind: str                 # "fingerprint-drift" | "writable-capture"
+    message: str
+    file: Optional[str]       # reserved: file attribution when known
+    sync_point: str
+    #: (process name, sim-time) when the buffer was captured
+    captured: Tuple[Optional[str], Optional[float]]
+    #: (process name, sim-time) when the drift was detected — at a
+    #: re-capture this *is* the mutating write's process and time
+    detected: Tuple[Optional[str], Optional[float]]
+
+    def format(self) -> str:
+        def _at(ctx: Tuple[Optional[str], Optional[float]]) -> str:
+            proc, when = ctx
+            return (f"{proc or '<outside sim>'} @ "
+                    f"{'?' if when is None else f't={when:g}'}")
+
+        return (f"BufSan[{self.kind}] at {self.sync_point}: {self.message} "
+                f"(captured by {_at(self.captured)}; "
+                f"detected by {_at(self.detected)})")
+
+
+class _Tracked:
+    """Bookkeeping for one captured buffer."""
+
+    __slots__ = ("ref", "fingerprint", "kind", "nbytes", "captured")
+
+    def __init__(self, ref: "weakref.ref[Any]", fingerprint: str,
+                 kind: str, nbytes: int,
+                 captured: Tuple[Optional[str], Optional[float]]) -> None:
+        self.ref = ref
+        self.fingerprint = fingerprint
+        self.kind = kind
+        self.nbytes = nbytes
+        self.captured = captured
+
+
+class BufSan:
+    """Per-:class:`Environment` buffer-identity sanitizer."""
+
+    def __init__(self, strict: bool = False,
+                 per_write: bool = False) -> None:
+        self.strict = strict
+        self.per_write = per_write
+        self.reports: List[BufSanReport] = []
+        self._system: Optional[Any] = None
+        self._inflight = 0
+        self._closed = False
+        #: id(array) -> tracking entry (weakref keeps buffers collectable)
+        self._tracked: Dict[int, _Tracked] = {}
+        #: total payload-captured bytes fingerprinted (cost accounting)
+        self.bytes_fingerprinted = 0
+        _REGISTRY.register(self)
+
+    # ------------------------------------------------------------------
+    def attach(self, system: Any) -> None:
+        """Called by :class:`System` so drift can be attributed to the
+        simulation clock and active process."""
+        self._system = system
+
+    def _context(self) -> Tuple[Optional[str], Optional[float]]:
+        system = self._system
+        if system is None:
+            return (None, None)
+        env = system.env
+        proc = env.active_process
+        return (proc.name if proc is not None else None, env.now)
+
+    def _report(self, kind: str, message: str, sync_point: str,
+                captured: Tuple[Optional[str], Optional[float]]) -> None:
+        report = BufSanReport(kind, message, None, sync_point,
+                              captured, self._context())
+        self.reports.append(report)
+        if self.strict:
+            raise BufSanError(report.format())
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+    def on_capture(self, payload: Any, arr: Any, kind: str) -> None:
+        """A payload captured ``arr``: fingerprint it, and verify any
+        earlier capture of the same array object first."""
+        if self._closed or arr.size == 0:
+            return
+        key = id(arr)
+        entry = self._tracked.get(key)
+        if entry is not None and entry.ref() is arr:
+            self._verify(entry, arr, f"re-capture({kind})")
+            # Track the newest capture context from here on: the buffer
+            # now (also) backs this payload.
+            entry.captured = self._context()
+            return
+        if arr.flags.writeable:
+            # Payload.__init__/_from_segments freeze before this hook
+            # runs, so a writable capture means a caller bypassed the
+            # freeze path entirely.
+            self._report("writable-capture",
+                         f"{kind} captured a writable {arr.size}-byte "
+                         f"buffer", f"capture({kind})", self._context())
+        fingerprint = _digest(arr.tobytes())
+        self.bytes_fingerprinted += arr.nbytes
+        self._tracked[key] = _Tracked(weakref.ref(arr), fingerprint, kind,
+                                      arr.nbytes, self._context())
+
+    def _verify(self, entry: _Tracked, arr: Any, sync_point: str) -> bool:
+        """Re-fingerprint one buffer; report and stop tracking on drift."""
+        fingerprint = _digest(arr.tobytes())
+        self.bytes_fingerprinted += arr.nbytes
+        if fingerprint == entry.fingerprint:
+            return True
+        self._report(
+            "fingerprint-drift",
+            f"{entry.kind}-captured {arr.nbytes}-byte buffer changed "
+            f"after sharing ({entry.fingerprint} -> {fingerprint})",
+            sync_point, entry.captured)
+        entry.fingerprint = fingerprint  # report each mutation once
+        return False
+
+    # ------------------------------------------------------------------
+    # sync points
+    # ------------------------------------------------------------------
+    def on_quiescent(self) -> None:
+        self._check_all("quiescent")
+
+    def on_run_complete(self) -> None:
+        self._check_all("run-complete")
+        self._closed = True
+
+    def on_recovery(self, index: int) -> None:
+        self._check_all(f"post-recovery(server {index})")
+
+    def on_write_start(self, name: str) -> None:
+        self._inflight += 1
+
+    def on_write_complete(self, name: str) -> None:
+        self._inflight -= 1
+        if self.per_write and self._inflight == 0:
+            self._check_all(f"post-write({name})")
+
+    # ------------------------------------------------------------------
+    def _check_all(self, sync_point: str) -> None:
+        """Re-verify every live tracked buffer.
+
+        Unlike ParitySan there is no in-flight or degraded exclusion: a
+        captured buffer must never change, not even mid-write or
+        mid-rebuild.
+        """
+        dead: List[int] = []
+        for key, entry in self._tracked.items():
+            arr = entry.ref()
+            if arr is None:
+                dead.append(key)
+                continue
+            self._verify(entry, arr, sync_point)
+        for key in dead:
+            del self._tracked[key]
+
+
+# ----------------------------------------------------------------------
+# global installation
+# ----------------------------------------------------------------------
+def _on_payload_capture(payload: Any, arr: Any, kind: str) -> None:
+    """The :func:`repro.storage.payload.set_capture_hook` target: fan a
+    capture out to every live, still-open sanitizer."""
+    for sanitizer in _REGISTRY.live():
+        sanitizer.on_capture(payload, arr, kind)
+
+
+def install(strict: bool = False, per_write: bool = False) -> None:
+    """Attach a fresh BufSan to every Environment created from now on
+    and start observing payload captures."""
+    from repro.sim import engine
+    from repro.storage import payload
+
+    engine.set_bufsan_factory(
+        lambda: BufSan(strict=strict, per_write=per_write))
+    payload.set_capture_hook(_on_payload_capture)
+
+
+def uninstall() -> None:
+    """Stop sanitizing new Environments and observing captures."""
+    from repro.sim import engine
+    from repro.storage import payload
+
+    engine.set_bufsan_factory(None)
+    payload.set_capture_hook(None)
+
+
+def installed() -> bool:
+    from repro.sim import engine
+
+    return engine.bufsan_factory() is not None
+
+
+def drain_reports() -> List[BufSanReport]:
+    """Collect (and clear) reports from every live sanitizer."""
+    return _REGISTRY.drain()

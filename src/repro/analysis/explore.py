@@ -19,9 +19,13 @@ interleavings:
   probabilistic coverage and every schedule is reproducible from its
   seed.
 
-Every run executes under LockSan *and* ParitySan; a **violation** is any
-raised :class:`~repro.errors.ReproError`/`AssertionError` or any
-sanitizer report.  Violating schedules serialize to ``.sched`` JSON
+Every run executes under LockSan, BufSan, *and* ParitySan; a
+**violation** is any raised
+:class:`~repro.errors.ReproError`/`AssertionError` or any sanitizer
+report (reported in that priority order: an exception beats a LockSan
+report beats a BufSan report beats a ParitySan report, so an aliasing
+bug is attributed to the buffer that drifted rather than to whatever
+parity noise it caused downstream).  Violating schedules serialize to ``.sched`` JSON
 files (``schema_version`` 1) and replay deterministically with
 ``csar-repro explore --replay FILE``.
 
@@ -401,23 +405,80 @@ def _scenario_buggy_overflow_inplace() -> None:
     system.run(body())
 
 
+@scenario("buggy-thawed-view",
+          "ThawedViewRaid5 thaws the parity response's frozen buffer "
+          "and XORs in place: the final parity bytes are correct "
+          "(ParitySan quiet) but every alias of the buffer drifts — "
+          "BufSan's fingerprints flag it",
+          seeded_bug=True)
+def _scenario_buggy_thawed_view() -> None:
+    from repro import CSARConfig, Payload, System
+    from repro.analysis import seeded_bugs
+
+    config = CSARConfig(scheme="raid5", num_servers=4, num_clients=1,
+                        stripe_unit=1024, content_mode=True,
+                        background_flusher=False)
+    system = seeded_bugs.inject(
+        System(config), seeded_bugs.ThawedViewRaid5(config))
+    client = system.client()
+    span = system.layout.group_span
+
+    def body():
+        yield from client.create("f")
+        # A full stripe seeds real parity, then a partial overwrite
+        # drives the locked RMW whose fold thaws the response buffer.
+        yield from client.write("f", 0, Payload.pattern(span, seed=1))
+        yield from client.write("f", 100, Payload.pattern(300, seed=2))
+
+    system.run(body())
+
+
+@scenario("buggy-scratch-leak",
+          "ScratchLeakHybrid stages its overflow mirror in a reused "
+          "scratch buffer captured into the payload: the second "
+          "same-size write rewrites the first mirror's bytes after the "
+          "fact — BufSan catches the drift at re-capture",
+          seeded_bug=True)
+def _scenario_buggy_scratch_leak() -> None:
+    from repro import CSARConfig, Payload, System
+    from repro.analysis import seeded_bugs
+
+    config = CSARConfig(scheme="hybrid", num_servers=4, num_clients=1,
+                        stripe_unit=1024, content_mode=True,
+                        background_flusher=False)
+    system = seeded_bugs.inject(
+        System(config), seeded_bugs.ScratchLeakHybrid(config))
+    client = system.client()
+
+    def body():
+        yield from client.create("f")
+        # Two partial writes of the same length with different content:
+        # the second refills the scratch the first mirror still aliases.
+        yield from client.write("f", 100, Payload.pattern(300, seed=1))
+        yield from client.write("f", 100, Payload.pattern(300, seed=2))
+
+    system.run(body())
+
+
 # ----------------------------------------------------------------------
 # running one schedule
 # ----------------------------------------------------------------------
 def _run_schedule(scen: Scenario, tie_breaker) \
         -> Tuple[Optional[Violation], Tuple[Tuple[int, int], ...]]:
-    """Run ``scen`` once under ``tie_breaker`` with both sanitizers on.
+    """Run ``scen`` once under ``tie_breaker`` with all sanitizers on.
 
     Returns ``(violation_or_None, decisions)``.
     """
-    from repro.analysis import locksan, paritysan
+    from repro.analysis import bufsan, locksan, paritysan
     from repro.sim import engine
 
     engine.set_tie_breaker_factory(lambda: tie_breaker)
     locksan.install()
+    bufsan.install()
     paritysan.install()
     try:
         locksan.drain_reports()
+        bufsan.drain_reports()
         paritysan.drain_reports()
         violation: Optional[Violation] = None
         try:
@@ -425,6 +486,7 @@ def _run_schedule(scen: Scenario, tie_breaker) \
         except (ReproError, AssertionError) as exc:
             violation = Violation(type(exc).__name__, str(exc))
         lock_reports = locksan.drain_reports()
+        buf_reports = bufsan.drain_reports()
         parity_reports = paritysan.drain_reports()
         for r in lock_reports:
             if r.kind == "order-inversion":
@@ -433,10 +495,16 @@ def _run_schedule(scen: Scenario, tie_breaker) \
     finally:
         engine.set_tie_breaker_factory(None)
         locksan.uninstall()
+        bufsan.uninstall()
         paritysan.uninstall()
     if violation is None and lock_reports:
         r = lock_reports[0]
         violation = Violation(f"locksan:{r.kind}", r.format())
+    # BufSan outranks ParitySan: a mutated shared buffer is the root
+    # cause of whatever parity mismatch it induces downstream.
+    if violation is None and buf_reports:
+        r = buf_reports[0]
+        violation = Violation(f"bufsan:{r.kind}", r.format())
     if violation is None and parity_reports:
         r = parity_reports[0]
         violation = Violation(f"paritysan:{r.kind}", r.format())

@@ -49,6 +49,13 @@ for worked examples):
   in a ``pvfs``/``redundancy``/``hw`` module: each call materialises a
   contiguous copy, so one per fragment/iteration turns the zero-copy
   segment rope back into O(n²) memcpy.
+* **CSAR013/014/015** — the buffer-provenance rules
+  (:mod:`repro.analysis.bufflow`): in-place mutation or thaw of a
+  may-frozen payload view, a private writable buffer escaping with no
+  dominating freeze, and a shared scratch alias live across an Event
+  yield.  Flow-sensitive over the same CFG engine as the lock rules; in
+  whole-program mode callee buffer summaries ride the call graph and
+  findings carry ``caller -> helper`` chains.
 
 Findings can be suppressed per line with a trailing comment::
 
@@ -266,9 +273,12 @@ class FileLinter:
                     f"syntax error: {err.msg}"))
                 return self.findings
         sim_scoped = self._is_sim_scoped()
+        buf_scoped = self._is_bufflow_scoped()
         for node in ast.walk(tree):
             if isinstance(node, ast.FunctionDef):
                 self._check_function(node, sim_scoped)
+                if buf_scoped:
+                    self._check_bufflow(node)
         if sim_scoped:
             self._check_wall_clock(tree)
         if self._is_hot_scoped():
@@ -287,6 +297,17 @@ class FileLinter:
         """CSAR009 applies only to ``redundancy`` modules."""
         parts = os.path.normpath(self.path).split(os.sep)
         return "redundancy" in parts
+
+    def _is_bufflow_scoped(self) -> bool:
+        """CSAR013–015 apply to the zero-copy data path: ``redundancy``/
+        ``pvfs`` modules, ``analysis`` (sanitizers, seeded bugs), and the
+        payload rope itself.  ``storage``/``hw``/``sim`` internals own
+        their private page buffers by construction and stay out of
+        scope."""
+        parts = os.path.normpath(self.path).split(os.sep)
+        return (any(part in ("redundancy", "pvfs", "analysis")
+                    for part in parts)
+                or os.path.basename(self.path) == "payload.py")
 
     def _is_hot_scoped(self) -> bool:
         """CSAR006 applies only to ``hw``/``sim`` hot-path modules."""
@@ -312,6 +333,22 @@ class FileLinter:
         if self._is_redundancy_scoped() and "overflow" in func.name:
             self._check_overflow_inplace(func, nodes)
         self._check_lost_failures(func, nodes)
+
+    # -- CSAR013 / CSAR014 / CSAR015 (buffer provenance) ----------------
+    _BUFFLOW_CODES = frozenset(("CSAR013", "CSAR014", "CSAR015"))
+
+    def _check_bufflow(self, func: ast.FunctionDef) -> None:
+        if not (self.enable & self._BUFFLOW_CODES):
+            return
+        from repro.analysis.bufflow import (BufferAnalysis,
+                                            buffer_context_for)
+        ctx = buffer_context_for(self.program, func) \
+            if self.program else None
+        qname = ctx.info.qname if ctx is not None else func.name
+        analysis = BufferAnalysis(func, interproc=ctx, qname=qname,
+                                  path=self.path)
+        for finding in analysis.findings():
+            self._report(finding.code, finding.node, finding.message)
 
     # -- CSAR001 / CSAR007 / CSAR008 (CFG + dataflow) -------------------
     #: Yielded calls counted as long-latency non-lock I/O (CSAR007).

@@ -30,17 +30,17 @@ everything; pass ``strict=True`` to raise on the first report.
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.analysis import SanitizerRegistry
 from repro.errors import DeadlockError, LockSanError
 
-#: Weak refs to every live sanitizer; lets the CLI and the pytest hook
-#: sweep reports across many Environments without threading the
-#: instances through.  Drains keep live sanitizers registered, so
-#: reports made after a drain are still seen.
-_ACTIVE: List["weakref.ref[LockSan]"] = []
+#: Every live sanitizer; lets the CLI and the pytest hook sweep reports
+#: across many Environments without threading the instances through.
+#: Drains keep live sanitizers registered, so reports made after a
+#: drain are still seen.
+_REGISTRY = SanitizerRegistry("locksan")
 
 _Key = Tuple[str, int]  # (file, parity group)
 
@@ -93,7 +93,7 @@ class LockSan:
         self._dead_requests: Set[int] = set()
         #: lock -> (file, group) label, registered by ParityLockTable
         self._labels: Dict[int, _Key] = {}
-        _ACTIVE.append(weakref.ref(self))
+        _REGISTRY.register(self)
 
     # ------------------------------------------------------------------
     # reporting
@@ -311,19 +311,5 @@ def installed() -> bool:
 
 
 def drain_reports() -> List[LockSanReport]:
-    """Collect (and clear) reports from every live sanitizer.
-
-    Sanitizers stay registered across drains (their Environments may
-    keep running); dead ones are swept out here.
-    """
-    out: List[LockSanReport] = []
-    live: List["weakref.ref[LockSan]"] = []
-    for ref in _ACTIVE:
-        sanitizer = ref()
-        if sanitizer is None:
-            continue
-        out.extend(sanitizer.reports)
-        sanitizer.reports = []
-        live.append(ref)
-    _ACTIVE[:] = live
-    return out
+    """Collect (and clear) reports from every live sanitizer."""
+    return _REGISTRY.drain()

@@ -46,15 +46,15 @@ by :func:`drain_reports`); pass ``strict=True`` to raise
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
+from repro.analysis import SanitizerRegistry
 from repro.errors import ParitySanError
 
-#: Weak refs to every live sanitizer; drains sweep reports but keep the
-#: sanitizer registered, so reports made after a drain are still seen.
-_ACTIVE: List["weakref.ref[ParitySan]"] = []
+#: Every live sanitizer; drains sweep reports but keep the sanitizer
+#: registered, so reports made after a drain are still seen.
+_REGISTRY = SanitizerRegistry("paritysan")
 
 
 @dataclass(frozen=True)
@@ -82,7 +82,7 @@ class ParitySan:
         self.reports: List[ParitySanReport] = []
         self._system: Optional[Any] = None
         self._inflight = 0
-        _ACTIVE.append(weakref.ref(self))
+        _REGISTRY.register(self)
 
     # ------------------------------------------------------------------
     def attach(self, system: Any) -> None:
@@ -196,19 +196,5 @@ def installed() -> bool:
 
 
 def drain_reports() -> List[ParitySanReport]:
-    """Collect (and clear) reports from every live sanitizer.
-
-    Sanitizers stay registered across drains (their Environments may
-    keep running); dead ones are swept out here.
-    """
-    out: List[ParitySanReport] = []
-    live: List["weakref.ref[ParitySan]"] = []
-    for ref in _ACTIVE:
-        sanitizer = ref()
-        if sanitizer is None:
-            continue
-        out.extend(sanitizer.reports)
-        sanitizer.reports = []
-        live.append(ref)
-    _ACTIVE[:] = live
-    return out
+    """Collect (and clear) reports from every live sanitizer."""
+    return _REGISTRY.drain()

@@ -145,6 +145,41 @@ RULES: Dict[str, Rule] = {
                   "is the point (e.g. one merged message per server)",
         ),
         Rule(
+            code="CSAR013",
+            name="mutate-shared-view",
+            summary="in-place mutation (or flags.writeable = True) of a "
+                    "buffer that may alias a frozen payload view — the "
+                    "zero-copy path shares these bytes with every "
+                    "payload sliced from them",
+            fixit="take a private copy first (_writable_copy()/.copy()) "
+                  "and mutate that; a frozen view's bytes belong to "
+                  "every payload that aliases them",
+        ),
+        Rule(
+            code="CSAR014",
+            name="writable-escape-without-freeze",
+            summary="a private writable buffer escapes (stored into an "
+                    "attribute/container or handed to a retaining "
+                    "callee) with no dominating freeze — later in-place "
+                    "reuse would corrupt whoever kept the reference",
+            fixit="freeze before sharing (_freeze(buf) or "
+                  "buf.flags.writeable = False), or wrap it in a "
+                  "Payload (whose constructor freezes) instead of "
+                  "storing the raw array",
+        ),
+        Rule(
+            code="CSAR015",
+            name="scratch-alias-across-yield",
+            summary="a reference to a shared scratch buffer is live "
+                    "across an Event yield — any interleaved process "
+                    "can observe or clobber the half-built bytes, and "
+                    "payloads captured from it drift on reuse",
+            fixit="copy the scratch contents into a fresh buffer (or "
+                  "build the Payload from a private copy) before "
+                  "yielding; scratch lifetime must stay within one "
+                  "scheduling step",
+        ),
+        Rule(
             code="CSAR009",
             name="overflow-write-in-place",
             summary="hybrid overflow path writes partial-stripe data to "

@@ -27,7 +27,22 @@ budget:
   loop, defeating the Section 5.1 deadlock-avoidance invariant while
   staying invisible to CSAR002's literal-only ordering check.  CSAR011
   flags the loop-carried descending edge statically and LockSan's
-  order-inversion check witnesses it dynamically.
+  order-inversion check witnesses it dynamically;
+* :class:`ThawedViewRaid5` — the RMW parity fold thaws the parity
+  *response's* frozen buffer (``flags.writeable = True``) and XORs in
+  place instead of taking a private copy.  The bytes it ultimately
+  writes are *correct*, so ParitySan stays quiet and no lock rule
+  fires; but every payload aliasing that buffer silently changes under
+  its reader.  Caught statically by CSAR013 (interprocedural only: the
+  thaw and the mutation live in helpers) and dynamically by BufSan's
+  fingerprint re-verification;
+* :class:`ScratchLeakHybrid` — the overflow mirror copy is staged in a
+  reusable per-scheme scratch buffer that is *captured into the mirror
+  payload* and then reused by the next write, so the first mirror's
+  bytes drift after the fact.  Caught statically by CSAR014 (the
+  allocator's private buffer escapes into ``self._scratch`` unfrozen)
+  and CSAR015 (the scratch-aliasing payload is live across the RPC
+  yield), and dynamically by BufSan at re-capture.
 
 Neither class is registered with the scheme registry — they impersonate
 their parent's ``name`` so existing metadata dispatch keeps working, and
@@ -36,7 +51,9 @@ their parent's ``name`` so existing metadata dispatch keeps working, and
 
 from __future__ import annotations
 
-from typing import Any, Generator, List
+from typing import Any, Generator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.pvfs import messages as msg
 from repro.redundancy.hybrid import Hybrid
@@ -160,6 +177,110 @@ class DescendingLockRaid5(Raid5):
             for group in range(first, last + 1):
                 client.iods[lay.parity_server(group)].locks.release(
                     meta.name, group, xid)
+
+
+class ThawedViewRaid5(Raid5):
+    """RAID5 whose RMW folds parity into the thawed server response.
+
+    Instead of ``xor_at_many`` (one private copy, fold, wrap), the fold
+    helper grabs the parity response's buffer, un-freezes it, and XORs
+    the delta in place.  The resulting parity *bytes* are correct — the
+    same fold lands in the same region — so the write completes, reads
+    verify, and ParitySan's quiescent XOR check passes.  What breaks is
+    aliasing: the response payload (and anything sharing its pages)
+    mutates after capture.  Each helper is clean in isolation — the
+    thaw touches an unannotated parameter and the caller never mutates
+    anything itself — so only the interprocedural buffer summaries
+    (CSAR013 with a ``_fold_parity -> _fold_piece`` chain) or BufSan's
+    runtime fingerprints can see it.
+    """
+
+    name = "raid5"  # impersonate: metadata still says "raid5"
+
+    def _fold_parity(self, parity: Payload,
+                     patches: List[Tuple[int, Payload]]) -> Payload:
+        buf = parity.data
+        for at, piece in patches:
+            self._fold_piece(buf, at, piece)
+        return Payload(parity.length, buf)
+
+    def _fold_piece(self, dst: np.ndarray, at: int,
+                    piece: Payload) -> None:
+        self._thaw(dst)
+        for s_at, seg in piece.iter_segments():
+            end = at + s_at + seg.size
+            np.bitwise_xor(dst[at + s_at:end], seg,
+                           out=dst[at + s_at:end])
+
+    def _thaw(self, arr: np.ndarray) -> None:
+        # A view of a frozen buffer can only be thawed once its base is
+        # writable again, so walk to the owning allocation first.
+        if arr.base is not None:
+            self._thaw(arr.base)
+        if not arr.flags.writeable:
+            arr.flags.writeable = True  # the bug: shared bytes go soft
+
+
+class ScratchLeakHybrid(Hybrid):
+    """Hybrid whose overflow-mirror copy leaks its scratch staging.
+
+    The mirror payload is staged through a reusable scratch buffer kept
+    on the scheme, and the buffer itself — not a copy — is captured
+    into the mirror's :class:`Payload`.  The next partial write of the
+    same size thaws and refills the very same allocation, so the
+    *first* mirror payload's bytes change long after every RPC carrying
+    them completed.  Each helper is locally plausible (the allocator
+    returns a fresh array, the filler writes into "its" buffer), so the
+    intra-procedural pass sees nothing; interprocedurally CSAR014 flags
+    the allocator's buffer escaping into ``self._scratch`` unfrozen and
+    CSAR015 flags the scratch-aliasing payload live across the send,
+    while BufSan catches the drift at the buffer's re-capture.
+    """
+
+    name = "hybrid"  # impersonate: metadata still says "hybrid"
+
+    def __init__(self, config: Any) -> None:
+        super().__init__(config)
+        self._scratch: Optional[np.ndarray] = None
+
+    def _write_overflow(self, client, meta, start: int, payload: Payload,
+                        ) -> Generator[Event, Any, None]:
+        n = meta.layout.n
+        calls: List = []
+        targets: List[int] = []
+        for sr in meta.layout.map_range(start, payload.length):
+            chunk = self._gather(payload, start, sr)
+            mirror_chunk = self._mirror_copy(chunk)
+            ranges = self._local_ranges(sr)
+            calls.append(client.rpc(client.iods[sr.server],
+                                    msg.OverflowWriteReq(
+                meta.name, ranges=list(ranges), payload=chunk,
+                xid=client.next_xid())))
+            targets.append(sr.server)
+            calls.append(client.rpc(client.iods[(sr.server + 1) % n],
+                                    msg.OverflowWriteReq(
+                meta.name, ranges=list(ranges), payload=mirror_chunk,
+                mirror=True, origin=sr.server, xid=client.next_xid())))
+            targets.append((sr.server + 1) % n)
+        yield from self._tolerant_parallel(client, targets, calls)
+
+    def _mirror_copy(self, chunk: Payload) -> Payload:
+        buf = self._fold_buffer(chunk.length)
+        for at, seg in chunk.iter_segments():
+            buf[at: at + seg.size] = seg
+        return Payload(chunk.length, buf)
+
+    def _fold_buffer(self, length: int) -> np.ndarray:
+        buf = self._scratch
+        if buf is None or buf.size != length:
+            buf = self._alloc_buffer(length)
+        self._scratch = buf  # the bug: the staging buffer outlives the copy
+        if not buf.flags.writeable:
+            buf.flags.writeable = True
+        return buf
+
+    def _alloc_buffer(self, length: int) -> np.ndarray:
+        return np.zeros(length, dtype=np.uint8)
 
 
 def inject(system: Any, scheme: Any) -> Any:

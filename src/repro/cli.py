@@ -68,24 +68,19 @@ def _emit_table(exp_id: str, table, wall: float, effective: float,
 def _cmd_run(ids: List[str], scale: Optional[float],
              csv_dir: Optional[str] = None, chart: bool = False,
              sanitize: Optional[str] = None, jobs: int = 1) -> int:
-    from repro.perf.runner import sanitize_modes
+    from repro.analysis import (drain_sanitizer_reports, install_sanitizers,
+                                sanitize_modes, sanitizer_module,
+                                uninstall_sanitizers)
 
     if ids == ["all"]:
         ids = sorted(REGISTRY)
     if jobs > 1:
         return _cmd_run_parallel(ids, scale, csv_dir, chart, sanitize, jobs)
-    want_lock, want_parity = sanitize_modes(sanitize)
-    previous_lock = previous_parity = None
-    if want_lock or want_parity:
-        from repro.sim import engine
-        previous_lock = engine.sanitizer_factory()
-        previous_parity = engine.paritysan_factory()
-    if want_lock:
-        from repro.analysis import locksan
-        locksan.install()
-    if want_parity:
-        from repro.analysis import paritysan
-        paritysan.install()
+    modes = sanitize_modes(sanitize)
+    # Only uninstall what this run installed, so an already-installed
+    # sanitizer (e.g. a CSAR_*SAN=1 test harness) survives the command.
+    owned = tuple(m for m in modes if not sanitizer_module(m).installed())
+    install_sanitizers(owned)
     status = 0
     try:
         for exp_id in ids:
@@ -104,20 +99,12 @@ def _cmd_run(ids: List[str], scale: Optional[float],
                 status = 1
                 continue
             wall = time.time() - t0
-            reports: List[str] = []
-            if want_lock:
-                from repro.analysis import locksan
-                reports += [r.format() for r in locksan.drain_reports()]
-            if want_parity:
-                from repro.analysis import paritysan
-                reports += [r.format() for r in paritysan.drain_reports()]
+            reports = [r.format()
+                       for r in drain_sanitizer_reports(modes)]
             status |= _emit_table(exp_id, table, wall, effective, chart,
                                   csv_dir, reports)
     finally:
-        if want_lock or want_parity:
-            from repro.sim import engine
-            engine.set_sanitizer_factory(previous_lock)
-            engine.set_paritysan_factory(previous_parity)
+        uninstall_sanitizers(owned)
     return status
 
 
@@ -363,12 +350,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--chart", action="store_true",
                        help="also render each result as a terminal chart")
     run_p.add_argument("--sanitize", nargs="?", const="lock", default=None,
-                       choices=("lock", "parity", "all"),
+                       choices=("lock", "parity", "buf", "all"),
                        help="run under runtime sanitizers; reports fail "
                             "the run.  'lock' (the default when the flag "
                             "is bare) = LockSan lock protocol, 'parity' = "
-                            "ParitySan redundancy invariants, 'all' = "
-                            "both")
+                            "ParitySan redundancy invariants, 'buf' = "
+                            "BufSan buffer-immutability fingerprints, "
+                            "'all' = every sanitizer")
     run_p.add_argument("--jobs", type=int, default=1,
                        help="run independent experiments across N worker "
                             "processes (default 1: classic sequential "

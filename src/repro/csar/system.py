@@ -59,6 +59,8 @@ class System:
                 node.cache.start_flusher()
         if self.env.paritysan is not None:
             self.env.paritysan.attach(self)
+        if self.env.bufsan is not None:
+            self.env.bufsan.attach(self)
 
     # ------------------------------------------------------------------
     # running
@@ -81,6 +83,8 @@ class System:
             # The awaited processes finished and nothing user-visible is
             # in flight: the redundancy invariants must hold right now.
             self.env.paritysan.on_quiescent()
+        if self.env.bufsan is not None:
+            self.env.bufsan.on_quiescent()
         return values[-1] if len(values) == 1 else values
 
     def timed(self, *processes) -> tuple[float, Any]:

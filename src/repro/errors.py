@@ -77,3 +77,8 @@ class DeadlockError(LockSanError):
 class ParitySanError(ReproError):
     """The ParitySan runtime sanitizer observed a redundancy-invariant
     violation (see :mod:`repro.analysis.paritysan`)."""
+
+
+class BufSanError(ReproError):
+    """The BufSan runtime sanitizer observed a captured buffer changing
+    after it was shared (see :mod:`repro.analysis.bufsan`)."""

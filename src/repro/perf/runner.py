@@ -95,38 +95,17 @@ def _portable_exception(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def sanitize_modes(sanitize: "str | bool | None") -> "tuple[bool, bool]":
-    """Decode a ``--sanitize`` value into ``(locksan, paritysan)`` flags.
-
-    Accepts the CLI strings ``"lock"`` / ``"parity"`` / ``"all"`` plus the
-    legacy booleans (``True`` meant LockSan only).
-    """
-    if not sanitize:
-        return False, False
-    if sanitize is True or sanitize == "lock":
-        return True, False
-    if sanitize == "parity":
-        return False, True
-    if sanitize == "all":
-        return True, True
-    raise ValueError(f"unknown sanitize mode {sanitize!r} "
-                     "(expected lock|parity|all)")
-
-
 def _run_point(point: SweepPoint,
                sanitize: "str | bool | None" = False) -> SweepResult:
     """Execute one point in the current process (the worker body)."""
+    from repro.analysis import (drain_sanitizer_reports, install_sanitizers,
+                                sanitize_modes)
     from repro.sim import engine
 
-    want_lock, want_parity = sanitize_modes(sanitize)
-    if want_lock:
-        from repro.analysis import locksan
-        if not locksan.installed():
-            locksan.install()
-    if want_parity:
-        from repro.analysis import paritysan
-        if not paritysan.installed():
-            paritysan.install()
+    modes = sanitize_modes(sanitize)
+    # Workers keep sanitizers installed for their lifetime: a fork-started
+    # worker runs many points, and install() is idempotent per mode.
+    install_sanitizers(modes)
 
     envs: List[object] = []
     previous = engine.env_observer()
@@ -162,13 +141,7 @@ def _run_point(point: SweepPoint,
         counters["events_dispatched"] += stats["dispatched"]
         counters["sim_time"] += stats["now"]
 
-    reports: List[str] = []
-    if want_lock:
-        from repro.analysis import locksan
-        reports += [r.format() for r in locksan.drain_reports()]
-    if want_parity:
-        from repro.analysis import paritysan
-        reports += [r.format() for r in paritysan.drain_reports()]
+    reports = [r.format() for r in drain_sanitizer_reports(modes)]
     return SweepResult(point=point, table=table, wall=wall,
                        counters=counters, error=error,
                        sanitizer_reports=reports)

@@ -43,8 +43,11 @@ class Raid5(base.RedundancyScheme):
     def write(self, client, meta, offset: int,
               payload: Payload) -> Generator[Event, Any, None]:
         paritysan = client.env.paritysan
+        bufsan = client.env.bufsan
         if paritysan is not None:
             paritysan.on_write_start(meta.name)
+        if bufsan is not None:
+            bufsan.on_write_start(meta.name)
         try:
             if self.config.strict_locking and self.config.locking:
                 yield from self._strict_write(client, meta, offset, payload)
@@ -53,6 +56,8 @@ class Raid5(base.RedundancyScheme):
         finally:
             if paritysan is not None:
                 paritysan.on_write_complete(meta.name)
+            if bufsan is not None:
+                bufsan.on_write_complete(meta.name)
 
     def _rmw_unlock(self, own_lock: bool) -> bool:
         """Whether the RMW's closing ParityWriteReq releases the group
@@ -60,6 +65,16 @@ class Raid5(base.RedundancyScheme):
         (:mod:`repro.analysis.seeded_bugs`); real schemes always
         release what they acquired."""
         return own_lock
+
+    def _fold_parity(self, parity: Payload,
+                     patches: List[Tuple[int, Payload]]) -> Payload:
+        """Fold the RMW's old/new delta patches into the parity piece.
+
+        A seam for fault-injecting subclasses
+        (:mod:`repro.analysis.seeded_bugs`); the real scheme folds into
+        a private writable copy (``xor_at_many``) and never touches the
+        server response's frozen buffer."""
+        return parity.xor_at_many(patches)
 
     def _strict_write(self, client, meta, offset: int,
                       payload: Payload) -> Generator[Event, Any, None]:
@@ -283,7 +298,7 @@ class Raid5(base.RedundancyScheme):
                                     old_chunk.slice(at, at + p.length)))
                     patches.append((patch_at,
                                     new_data.slice(lo_l, lo_l + p.length)))
-            new_parity = new_parity.xor_at_many(patches)
+            new_parity = self._fold_parity(new_parity, patches)
             yield from client.node.cpu.compute_parity(
                 2 * (hi - lo), bytewise=self.config.parity_bytewise)
         else:

@@ -80,6 +80,8 @@ def rebuild_server(system, index: int,
     system.metrics.add("failures.rebuilt")
     if system.env.paritysan is not None:
         system.env.paritysan.on_recovery(index)
+    if system.env.bufsan is not None:
+        system.env.bufsan.on_recovery(index)
 
 
 def _rebuild_file(system, client, iod: IOD,

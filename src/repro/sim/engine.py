@@ -84,6 +84,22 @@ def paritysan_factory() -> Optional[Callable[[], Any]]:
     return _paritysan_factory
 
 
+#: Optional factory installed by :func:`repro.analysis.bufsan.install`;
+#: called once per new :class:`Environment` to build its buffer-identity
+#: sanitizer (independent of the lock and parity sanitizers).
+_bufsan_factory: Optional[Callable[[], Any]] = None
+
+
+def set_bufsan_factory(factory: Optional[Callable[[], Any]]) -> None:
+    """Install (or, with ``None``, remove) the BufSan factory."""
+    global _bufsan_factory
+    _bufsan_factory = factory
+
+
+def bufsan_factory() -> Optional[Callable[[], Any]]:
+    return _bufsan_factory
+
+
 #: Optional factory for a tie-break scheduler (schedule exploration,
 #: :mod:`repro.analysis.explore`): called once per new
 #: :class:`Environment`; the returned object's ``choose(when, priority,
@@ -430,6 +446,9 @@ class Environment:
         #: ParitySan (or compatible) invariant sanitizer.
         self.paritysan: Optional[Any] = (
             _paritysan_factory() if _paritysan_factory is not None else None)
+        #: BufSan (or compatible) buffer-identity sanitizer.
+        self.bufsan: Optional[Any] = (
+            _bufsan_factory() if _bufsan_factory is not None else None)
         #: Tie-break scheduler for schedule exploration; ``None`` keeps
         #: deterministic seq order.
         self._tie_breaker: Optional[Any] = (
@@ -568,6 +587,8 @@ class Environment:
                 self.sanitizer.on_run_complete()
             if self.paritysan is not None:
                 self.paritysan.on_run_complete()
+            if self.bufsan is not None:
+                self.bufsan.on_run_complete()
         return None
 
     # -- schedule exploration ---------------------------------------------
@@ -648,4 +669,6 @@ class Environment:
                 self.sanitizer.on_run_complete()
             if self.paritysan is not None:
                 self.paritysan.on_run_complete()
+            if self.bufsan is not None:
+                self.bufsan.on_run_complete()
         return None

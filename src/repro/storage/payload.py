@@ -24,7 +24,7 @@ segment-count growth).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,23 @@ _MAX_SEGMENTS = 256
 
 #: One ``(offset, uint8-array)`` fragment of a payload's content.
 Segment = Tuple[int, np.ndarray]
+
+#: Optional observer invoked as ``hook(payload, array, kind)`` at the
+#: moment a payload captures a buffer (``kind`` is ``"payload"`` for a
+#: contiguous capture, ``"segment"`` per rope segment, and
+#: ``"materialized"`` for a rope's cached flattening).  Installed by
+#: :func:`repro.analysis.bufsan.install`; kept as a module-level hook so
+#: the storage layer never imports the analysis package.  Costs one
+#: ``None``-check per capture when disabled.
+_capture_hook: Optional[Callable[["Payload", np.ndarray, str], None]] = None
+
+
+def set_capture_hook(
+        hook: Optional[Callable[["Payload", np.ndarray, str], None]],
+) -> None:
+    """Install (or, with ``None``, remove) the buffer-capture observer."""
+    global _capture_hook
+    _capture_hook = hook
 
 
 def _freeze(arr: np.ndarray) -> np.ndarray:
@@ -62,6 +79,8 @@ class Payload:
             # views, so the backing store must never change underneath a
             # previously taken slice.
             _freeze(data)
+            if _capture_hook is not None:
+                _capture_hook(self, data, "payload")
         self.length = length
         self._data = data
 
@@ -268,6 +287,8 @@ class SegmentedPayload(Payload):
                     f"segment [{at}, +{seg.size}) invalid in payload "
                     f"of {length}")
             _freeze(seg)
+            if _capture_hook is not None:
+                _capture_hook(self, seg, "segment")
             prev_end = at + seg.size
         self._segments = tuple(segments)
 
@@ -276,7 +297,15 @@ class SegmentedPayload(Payload):
         buf = self._data
         if buf is None:
             buf = self._writable_copy()
+            # Freeze the materialization *before* it becomes reachable
+            # through the cache: every later read aliases this buffer,
+            # so a writable (or unfrozen overridden-copy) cache would
+            # let one caller perturb what everyone else sees.
             buf.flags.writeable = False
+            assert not buf.flags.writeable, (
+                "SegmentedPayload cache must be frozen before caching")
+            if _capture_hook is not None:
+                _capture_hook(self, buf, "materialized")
             self._data = buf
         return buf
 

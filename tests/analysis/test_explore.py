@@ -143,6 +143,17 @@ class TestSeededBugs:
         witnesses = explore.drain_witnesses()
         assert {"file": "f", "group": 0, "held_group": 1} in witnesses
 
+    def test_thawed_view_caught_by_bufsan(self):
+        result = explore.explore("buggy-thawed-view", budget=16)
+        assert result.found
+        assert result.record.violation.kind == "bufsan:fingerprint-drift"
+        assert "changed" in result.record.violation.description
+
+    def test_scratch_leak_caught_by_bufsan(self):
+        result = explore.explore("buggy-scratch-leak", budget=16)
+        assert result.found
+        assert result.record.violation.kind == "bufsan:fingerprint-drift"
+
     def test_smoke_passes_and_replays(self, tmp_path):
         witness_path = str(tmp_path / "witnesses.json")
         results = explore.explore_smoke(budget=32,
@@ -150,11 +161,13 @@ class TestSeededBugs:
                                         witness_path=witness_path)
         assert {r.scenario for r in results} \
             == {"buggy-lock-leak", "buggy-helper-release-leak",
-                "buggy-lock-order", "buggy-overflow-inplace"}
+                "buggy-lock-order", "buggy-overflow-inplace",
+                "buggy-thawed-view", "buggy-scratch-leak"}
         assert all(r.found for r in results)
         assert sorted(p.name for p in (tmp_path / "sched").iterdir()) \
             == ["buggy-helper-release-leak.sched", "buggy-lock-leak.sched",
-                "buggy-lock-order.sched", "buggy-overflow-inplace.sched"]
+                "buggy-lock-order.sched", "buggy-overflow-inplace.sched",
+                "buggy-scratch-leak.sched", "buggy-thawed-view.sched"]
         from repro.analysis import lint
         witnesses = lint.load_witnesses(witness_path)
         assert any(w["held_group"] == 1 and w["group"] == 0

@@ -1,13 +1,18 @@
-"""Test-suite plumbing: optional LockSan / ParitySan sanitization.
+"""Test-suite plumbing: optional LockSan / ParitySan / BufSan sanitization.
 
 Run any part of the suite with ``CSAR_LOCKSAN=1`` to attach the LockSan
 lock-protocol sanitizer (:mod:`repro.analysis.locksan`) to every
-:class:`Environment` the tests create, and/or ``CSAR_PARITYSAN=1`` to
-attach the ParitySan redundancy-invariant sanitizer
-(:mod:`repro.analysis.paritysan`).  Autouse fixtures then fail any test
-whose simulations produced sanitizer reports — except tests marked
-``locksan_expected`` / ``paritysan_expected``, which intentionally
+:class:`Environment` the tests create, ``CSAR_PARITYSAN=1`` to attach
+the ParitySan redundancy-invariant sanitizer
+(:mod:`repro.analysis.paritysan`), and/or ``CSAR_BUFSAN=1`` to attach
+the BufSan buffer-immutability sanitizer (:mod:`repro.analysis.bufsan`).
+Autouse fixtures then fail any test whose simulations produced sanitizer
+reports — except tests marked ``locksan_expected`` /
+``paritysan_expected`` / ``bufsan_expected``, which intentionally
 violate the respective invariants.
+
+The plumbing below is generic over :data:`repro.analysis.SANITIZER_MODULES`;
+adding a fourth sanitizer means adding one ``_SanitizerHarness`` row.
 """
 
 import os
@@ -15,73 +20,66 @@ import os
 import pytest
 
 
-def _locksan_requested() -> bool:
-    return os.environ.get("CSAR_LOCKSAN", "") not in ("", "0")
+class _SanitizerHarness:
+    """One sanitizer's env-var gate, marker name, and module handle."""
+
+    def __init__(self, mode: str, env_var: str, display: str) -> None:
+        self.mode = mode
+        self.env_var = env_var
+        self.display = display
+        self.marker = f"{mode}san_expected"
+
+    def requested(self) -> bool:
+        return os.environ.get(self.env_var, "") not in ("", "0")
+
+    def module(self):
+        from repro.analysis import sanitizer_module
+
+        return sanitizer_module(self.mode)
 
 
-def _paritysan_requested() -> bool:
-    return os.environ.get("CSAR_PARITYSAN", "") not in ("", "0")
+_HARNESSES = (
+    _SanitizerHarness("lock", "CSAR_LOCKSAN", "LockSan"),
+    _SanitizerHarness("parity", "CSAR_PARITYSAN", "ParitySan"),
+    _SanitizerHarness("buf", "CSAR_BUFSAN", "BufSan"),
+)
 
 
 def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "locksan_expected: the test intentionally triggers LockSan "
-        "reports; the zero-report check is skipped")
-    config.addinivalue_line(
-        "markers",
-        "paritysan_expected: the test intentionally triggers ParitySan "
-        "reports; the zero-report check is skipped")
-    if _locksan_requested():
-        from repro.analysis import locksan
-
-        locksan.install()
-    if _paritysan_requested():
-        from repro.analysis import paritysan
-
-        paritysan.install()
+    for harness in _HARNESSES:
+        config.addinivalue_line(
+            "markers",
+            f"{harness.marker}: the test intentionally triggers "
+            f"{harness.display} reports; the zero-report check is skipped")
+        if harness.requested():
+            harness.module().install()
 
 
 def pytest_unconfigure(config):
-    if _locksan_requested():
-        from repro.analysis import locksan
-
-        locksan.uninstall()
-    if _paritysan_requested():
-        from repro.analysis import paritysan
-
-        paritysan.uninstall()
+    for harness in _HARNESSES:
+        if harness.requested():
+            harness.module().uninstall()
 
 
-@pytest.fixture(autouse=True)
-def _locksan_zero_reports(request):
-    """With LockSan installed, assert each test ends report-free."""
-    if not _locksan_requested():
+def _zero_reports_fixture(harness):
+    @pytest.fixture(autouse=True)
+    def _zero_reports(request):
+        if not harness.requested():
+            yield
+            return
+        module = harness.module()
+        module.drain_reports()  # isolate from previous test
         yield
-        return
-    from repro.analysis import locksan
+        reports = module.drain_reports()
+        if reports and request.node.get_closest_marker(
+                harness.marker) is None:
+            lines = "\n".join(r.format() for r in reports)
+            pytest.fail(f"{harness.display} reports:\n{lines}")
 
-    locksan.drain_reports()  # isolate from previous test
-    yield
-    reports = locksan.drain_reports()
-    if reports and request.node.get_closest_marker(
-            "locksan_expected") is None:
-        lines = "\n".join(r.format() for r in reports)
-        pytest.fail(f"LockSan reports:\n{lines}")
+    _zero_reports.__name__ = f"_{harness.mode}san_zero_reports"
+    return _zero_reports
 
 
-@pytest.fixture(autouse=True)
-def _paritysan_zero_reports(request):
-    """With ParitySan installed, assert each test ends report-free."""
-    if not _paritysan_requested():
-        yield
-        return
-    from repro.analysis import paritysan
-
-    paritysan.drain_reports()  # isolate from previous test
-    yield
-    reports = paritysan.drain_reports()
-    if reports and request.node.get_closest_marker(
-            "paritysan_expected") is None:
-        lines = "\n".join(r.format() for r in reports)
-        pytest.fail(f"ParitySan reports:\n{lines}")
+_locksan_zero_reports = _zero_reports_fixture(_HARNESSES[0])
+_paritysan_zero_reports = _zero_reports_fixture(_HARNESSES[1])
+_bufsan_zero_reports = _zero_reports_fixture(_HARNESSES[2])

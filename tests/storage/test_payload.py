@@ -116,6 +116,78 @@ class TestOperations:
         assert Payload.virtual(2) == Payload.virtual(2)
 
 
+def _xored(base: bytes, at: int, patch: bytes) -> bytes:
+    out = bytearray(base)
+    for i, byte in enumerate(patch):
+        out[at + i] ^= byte
+    return bytes(out)
+
+
+class TestPatchEdgeGeometry:
+    """overlay/xor_at at the degenerate offsets the RMW path produces:
+    empty deltas, the final byte of a piece, and patches whose region
+    spans a rope segment boundary."""
+
+    def test_zero_length_overlay_is_identity(self):
+        base = Payload.from_bytes(b"abcd")
+        for at in (0, 2, 4):
+            out = base.overlay(at, Payload.from_bytes(b""))
+            assert out.to_bytes() == b"abcd"
+            assert out.length == 4
+
+    def test_zero_length_xor_is_identity(self):
+        base = Payload.from_bytes(b"abcd")
+        for at in (0, 2, 4):
+            assert base.xor_at(at, Payload.from_bytes(b"")).to_bytes() \
+                == b"abcd"
+
+    def test_final_byte_overlay(self):
+        base = Payload.from_bytes(b"abcd")
+        assert base.overlay(3, Payload.from_bytes(b"Z")).to_bytes() \
+            == b"abcZ"
+
+    def test_final_byte_xor(self):
+        base = Payload.from_bytes(b"abcd")
+        out = base.xor_at(3, Payload.from_bytes(b"\x01"))
+        assert out.to_bytes() == _xored(b"abcd", 3, b"\x01")
+
+    def test_xor_past_the_end_rejected(self):
+        base = Payload.from_bytes(b"abcd")
+        with pytest.raises(ValueError):
+            base.xor_at(4, Payload.from_bytes(b"\x01"))
+        with pytest.raises(ValueError):
+            base.xor_at(-1, Payload.from_bytes(b"\x01"))
+
+    def test_overlay_spanning_a_rope_boundary(self):
+        # The base is a two-segment rope cut at offset 4; the patch
+        # covers [2, 6) so it straddles the seam.
+        base = Payload.from_bytes(b"abcd").concat(Payload.from_bytes(b"efgh"))
+        out = base.overlay(2, Payload.from_bytes(b"WXYZ"))
+        assert out.to_bytes() == b"abWXYZgh"
+
+    def test_xor_spanning_a_rope_boundary(self):
+        base = Payload.from_bytes(b"abcd").concat(Payload.from_bytes(b"efgh"))
+        out = base.xor_at(2, Payload.from_bytes(b"\x01\x02\x03\x04"))
+        assert out.to_bytes() == _xored(b"abcdefgh", 2, b"\x01\x02\x03\x04")
+
+    def test_xor_with_a_rope_patch(self):
+        # The patch itself is segmented: its internal seam must land
+        # at the right absolute offsets of the base.
+        base = Payload.from_bytes(b"abcdefgh")
+        patch = Payload.from_bytes(b"\x01\x02").concat(
+            Payload.from_bytes(b"\x03\x04"))
+        out = base.xor_at(3, patch)
+        assert out.to_bytes() == _xored(b"abcdefgh", 3, b"\x01\x02\x03\x04")
+
+    def test_xor_at_many_folds_every_patch(self):
+        base = Payload.from_bytes(b"abcdefgh")
+        out = base.xor_at_many([(0, Payload.from_bytes(b"\x01")),
+                                (7, Payload.from_bytes(b"\x02")),
+                                (3, Payload.from_bytes(b""))])
+        expected = _xored(_xored(b"abcdefgh", 0, b"\x01"), 7, b"\x02")
+        assert out.to_bytes() == expected
+
+
 @settings(max_examples=60, deadline=None)
 @given(st.binary(max_size=100), st.binary(max_size=100))
 def test_xor_is_self_inverse(a, b):

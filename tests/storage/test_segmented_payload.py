@@ -134,6 +134,29 @@ def test_materialization_is_cached():
     assert rope.data is first  # second access reuses the flat buffer
 
 
+def test_materialized_cache_is_frozen_before_it_escapes():
+    # The cache is frozen *before* being stored, so no reader of .data
+    # ever sees (or can create) a writable alias of it.
+    rope = Payload.from_bytes(b"ab").concat(Payload.from_bytes(b"cd"))
+    cache = rope.data
+    assert not cache.flags.writeable
+    with pytest.raises(ValueError):
+        cache[0] = 0
+    assert rope.to_bytes() == b"abcd"
+
+
+def test_writable_copy_cannot_perturb_the_cache():
+    # _writable_copy is the sanctioned mutation path; it must hand back
+    # fresh bytes, never an alias of the cached materialization.
+    rope = Payload.from_bytes(b"ab").concat(Payload.from_bytes(b"cd"))
+    cache = rope.data
+    dup = rope._writable_copy()
+    assert not np.shares_memory(dup, cache)
+    dup[:] = 0xFF
+    assert rope.to_bytes() == b"abcd"
+    assert rope.data is cache
+
+
 def test_sparse_is_free_and_reads_zero():
     p = Payload.sparse(1 << 20)
     assert not p.is_virtual
