@@ -289,9 +289,15 @@ class FileLinter:
         return self.findings
 
     def _is_sim_scoped(self) -> bool:
-        """CSAR004 applies only to ``sim``/``redundancy`` modules."""
+        """CSAR004 applies to modules whose behaviour must replay
+        bit-identically: the engine (``sim``), the schemes
+        (``redundancy``), fault injection (``faults`` — a plan must
+        re-fire at the same sim instants), and the client RPC
+        retry/backoff path (``pvfs`` — jitter must come from the seeded
+        per-request stream, never the wall clock)."""
         parts = os.path.normpath(self.path).split(os.sep)
-        return any(part in ("sim", "redundancy") for part in parts)
+        return any(part in ("sim", "redundancy", "faults", "pvfs")
+                   for part in parts)
 
     def _is_redundancy_scoped(self) -> bool:
         """CSAR009 applies only to ``redundancy`` modules."""

@@ -36,6 +36,19 @@ budget:
   its reader.  Caught statically by CSAR013 (interprocedural only: the
   thaw and the mutation live in helpers) and dynamically by BufSan's
   fingerprint re-verification;
+* :class:`CompensatingWritebackRaid5` — when an RMW *writeback* data
+  write fails (the server crashed between the old-data read and the
+  write), the scheme "helpfully" folds that block's delta back out of
+  the already-updated parity, so parity implies the block's *old*
+  bytes while the client acknowledged the new ones.  The state is
+  internally consistent — parity XORs to the reconstructible data, so
+  ParitySan, the scrubber, and every lock/buffer rule stay quiet — but
+  a rebuild resurrects the old bytes and the acknowledged write is
+  silently lost.  Only the chaos campaign's differential/durability
+  oracle (or the crash matrix) can catch it, and only by crashing a
+  server *inside* the RMW window: the compensation path is gated on
+  "old read succeeded AND writeback failed", which no between-ops
+  fault (every pre-existing test) can reach;
 * :class:`ScratchLeakHybrid` — the overflow mirror copy is staged in a
   reusable per-scheme scratch buffer that is *captured into the mirror
   payload* and then reused by the next write, so the first mirror's
@@ -281,6 +294,72 @@ class ScratchLeakHybrid(Hybrid):
 
     def _alloc_buffer(self, length: int) -> np.ndarray:
         return np.zeros(length, dtype=np.uint8)
+
+
+class CompensatingWritebackRaid5(Raid5):
+    """RAID5 that "compensates" parity when an RMW data write fails.
+
+    The rationale a real implementer might give: "the data write never
+    landed, so the parity fold for that block must be undone or the
+    group won't XOR to its on-disk data".  That is exactly backwards —
+    the folded parity is what makes the acked-but-unwritten block
+    *reconstructible* — but the resulting state is self-consistent, so
+    no sanitizer objects.  The bug only fires when a data server's
+    old-data read succeeded and its writeback write failed, i.e. the
+    server crashed *inside* the RMW window, which only step-triggered
+    fault injection can arrange.
+    """
+
+    name = "raid5"  # impersonate: metadata still says "raid5"
+
+    def _writeback_outcome(self, client, meta, group: int, ranges,
+                           old_errors, old_chunks, new_data: Payload,
+                           base_lo: int, intra: Tuple[int, int], outcomes,
+                           xid: int) -> Generator[Event, Any, None]:
+        from repro.errors import ServerFailed
+
+        if not self.config.compute_parity:
+            return
+        lay = meta.layout
+        unit = lay.unit
+        intra_lo, intra_hi = intra
+        p_server = lay.parity_server(group)
+        p_local = lay.parity_local_offset(group)
+        own = not (self.config.strict_locking and self.config.locking)
+        for sr, old_error, old_chunk, (_value, error) in zip(
+                ranges, old_errors, old_chunks, outcomes):
+            if not isinstance(error, ServerFailed) or old_error is not None:
+                continue
+            # The bug: XOR the old/new delta in again (self-inverse), so
+            # the parity goes back to implying the *old* block content.
+            cxid = client.next_xid()
+            try:
+                response = yield from client.rpc(
+                    client.iods[p_server],
+                    msg.ParityReadReq(meta.name, group=group,
+                                      local_offset=p_local,
+                                      intra=(intra_lo, intra_hi),
+                                      xid=cxid, lock=own))
+            except ServerFailed:
+                return
+            patches: List[Tuple[int, Payload]] = []
+            for p in sr.pieces:
+                at = p.local_offset - sr.local_start
+                lo_l = p.logical_offset - base_lo
+                patch_at = p.local_offset % unit - intra_lo
+                patches.append((patch_at,
+                                old_chunk.slice(at, at + p.length)))
+                patches.append((patch_at,
+                                new_data.slice(lo_l, lo_l + p.length)))
+            parity = self._fold_parity(response.payload, patches)
+            try:
+                yield from client.rpc(client.iods[p_server],
+                                      msg.ParityWriteReq(
+                    meta.name, group=group, local_offset=p_local,
+                    intra=(intra_lo, intra_hi), payload=parity,
+                    unlock=own, xid=cxid))
+            except ServerFailed:
+                return
 
 
 def inject(system: Any, scheme: Any) -> Any:

@@ -19,6 +19,10 @@
     csar-repro explore --smoke --witness-file witnesses.json
     csar-repro explore race-lock-order --strategy pct --budget 128
     csar-repro explore --replay out/race-lock-order.sched
+    csar-repro chaos --seeds 0:8 --plan-dir out/chaos
+    csar-repro chaos --replay out/chaos/seed3-raid5.json
+    csar-repro chaos --smoke
+    csar-repro chaos --matrix
 """
 
 from __future__ import annotations
@@ -266,6 +270,83 @@ def _cmd_explore(scenario: Optional[str], strategy: str, budget: int,
     return 1
 
 
+def _cmd_chaos(seeds: List[int], schemes: List[str], num_ops: int,
+               plan_dir: Optional[str], replay_path: Optional[str],
+               smoke: bool, matrix: bool) -> int:
+    from repro.faults import runner
+
+    if replay_path is not None:
+        reproduced, result = runner.replay(replay_path)
+        if reproduced:
+            print(f"replayed {replay_path}: reproduced — {result.format()}")
+            return 0
+        print(f"replay of {replay_path} did NOT reproduce the recorded "
+              f"outcome; got: {result.format()}", file=sys.stderr)
+        return 1
+
+    if matrix:
+        from repro.faults.matrix import crash_matrix
+
+        status = 0
+        for scheme in ("raid5", "hybrid"):
+            cells = crash_matrix(scheme)
+            bad = [c for c in cells if not c.ok]
+            print(f"{scheme}: {len(cells)} crash cells, "
+                  f"{len(bad)} violating")
+            for cell in bad:
+                print(f"  {cell.format()}", file=sys.stderr)
+                status = 1
+        return status
+
+    if smoke:
+        # Verify the verifier: the seeded mid-RMW bug must be caught by
+        # the crash matrix, the real scheme must pass the same cell, and
+        # a chaos run must be digest-deterministic.
+        from repro.analysis.seeded_bugs import CompensatingWritebackRaid5
+        from repro.faults.matrix import run_cell
+
+        cell = run_cell("raid5", "raid5.rmw.before_writeback", 1, 0)
+        if not cell.ok:
+            print(f"error: real raid5 failed the matrix: {cell.format()}",
+                  file=sys.stderr)
+            return 1
+        cell = run_cell("raid5", "raid5.rmw.before_writeback", 1, 0,
+                        make_scheme=CompensatingWritebackRaid5)
+        if cell.ok:
+            print("error: the crash matrix did not catch "
+                  "CompensatingWritebackRaid5", file=sys.stderr)
+            return 1
+        print(f"seeded bug caught: {cell.format()}")
+        first = runner.run_chaos(seeds[0], "raid5", num_ops=num_ops)
+        again = runner.run_chaos(seeds[0], "raid5", num_ops=num_ops)
+        if first.digest != again.digest:
+            print("error: chaos run is not deterministic", file=sys.stderr)
+            return 1
+        print(f"chaos determinism: seed {seeds[0]} raid5 digest "
+              f"{first.digest[:12]} reproduces")
+        return 0
+
+    results = runner.run_campaign(seeds, schemes, num_ops=num_ops,
+                                  plan_dir=plan_dir)
+    status = 0
+    for result in results:
+        print(result.format())
+        if not result.ok:
+            status = 1
+    if status and plan_dir is not None:
+        print(f"failing plans written to {plan_dir}", file=sys.stderr)
+    return status
+
+
+def _parse_seeds(seed: int, seeds: Optional[str]) -> List[int]:
+    if seeds is None:
+        return [seed]
+    if ":" in seeds:
+        lo, hi = seeds.split(":", 1)
+        return list(range(int(lo), int(hi)))
+    return [int(s) for s in seeds.split(",") if s]
+
+
 def _cmd_lint(paths: List[str], fmt: str, list_rules: bool,
               interprocedural: bool = True,
               baseline_path: Optional[str] = None,
@@ -437,6 +518,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="save every LockSan order-inversion "
                                 "observed during the run as a witness "
                                 "file for 'lint --witnesses'")
+    chaos_p = sub.add_parser(
+        "chaos", help="run seed-deterministic fault-injection campaigns "
+                      "with a differential oracle (see docs/FAULTS.md)")
+    chaos_p.add_argument("--seed", type=int, default=0,
+                         help="single campaign seed (default 0)")
+    chaos_p.add_argument("--seeds", default=None,
+                         help="seed set: 'LO:HI' (half-open range) or a "
+                              "comma list; overrides --seed")
+    chaos_p.add_argument("--schemes", default=",".join(
+                             ("raid0", "raid1", "raid5", "hybrid")),
+                         help="comma list of schemes to sweep "
+                              "(default: all four)")
+    chaos_p.add_argument("--ops", type=int, default=10, dest="num_ops",
+                         help="workload operations per run (default 10)")
+    chaos_p.add_argument("--plan-dir", default=None,
+                         help="write each failing run's fault plan as "
+                              "replayable JSON into this directory")
+    chaos_p.add_argument("--replay", default=None, dest="replay_path",
+                         metavar="FILE",
+                         help="re-run a saved fault plan and verify the "
+                              "recorded outcome reproduces")
+    chaos_p.add_argument("--smoke", action="store_true",
+                         help="verify the verifier: the seeded mid-RMW "
+                              "bug is caught and runs are deterministic "
+                              "(the CI gate)")
+    chaos_p.add_argument("--matrix", action="store_true",
+                         help="run the full crash-consistency matrix "
+                              "(every server x every protocol step) for "
+                              "raid5 and hybrid")
     lint_p = sub.add_parser(
         "lint", help="run the csar-lint static protocol checks")
     lint_p.add_argument("paths", nargs="*", default=["src"],
@@ -483,6 +593,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args.paths, args.fmt, args.list_rules,
                          args.interprocedural, args.baseline_path,
                          args.write_baseline_path, args.witness_path)
+    if args.command == "chaos":
+        return _cmd_chaos(_parse_seeds(args.seed, args.seeds),
+                          [s for s in args.schemes.split(",") if s],
+                          args.num_ops, args.plan_dir, args.replay_path,
+                          args.smoke, args.matrix)
     if args.command == "explore":
         return _cmd_explore(args.scenario, args.strategy, args.budget,
                             args.depth, args.seed, args.smoke,

@@ -47,6 +47,25 @@ class CSARConfig:
     scale: float = 1.0
     #: run servers' background writeback daemons
     background_flusher: bool = True
+    #: per-RPC deadline in sim seconds; ``None`` (the default) keeps the
+    #: legacy wait-forever RPC path bit-identical.  Set it to survive
+    #: silent message loss: a timed-out server is treated as failed
+    #: (:class:`~repro.errors.RpcTimeout` is a ``ServerFailed``), so
+    #: reads fail over to the scheme's degraded path
+    rpc_timeout: float | None = None
+    #: retry attempts (beyond the first send) for *idempotent* requests
+    #: that time out; non-idempotent protocol messages (lock-carrying
+    #: parity ops, overflow appends) never retry — a duplicate would
+    #: corrupt server state — and surface the timeout immediately
+    rpc_retries: int = 2
+    #: exponential-backoff base delay between retries (sim seconds);
+    #: attempt ``k`` waits ``base * 2**k`` capped at ``rpc_backoff_cap``,
+    #: plus seeded jitter in [0, backoff) to break retry lockstep
+    rpc_backoff_base: float = 0.002
+    rpc_backoff_cap: float = 0.1
+    #: seed for the per-client retry-jitter RNG (sim-deterministic; the
+    #: client index is mixed in so clients don't retry in phase)
+    rpc_jitter_seed: int = 0
 
     resolved_profile: HardwareProfile = field(init=False, repr=False)
 
@@ -59,6 +78,12 @@ class CSARConfig:
             raise ConfigError("stripe unit must be positive")
         if self.scheme in ("raid5", "hybrid") and self.num_servers < 2:
             raise ConfigError(f"{self.scheme} needs at least 2 servers")
+        if self.rpc_timeout is not None and self.rpc_timeout <= 0:
+            raise ConfigError("rpc_timeout must be positive (or None)")
+        if self.rpc_retries < 0:
+            raise ConfigError("rpc_retries must be >= 0")
+        if self.rpc_backoff_base <= 0 or self.rpc_backoff_cap <= 0:
+            raise ConfigError("rpc backoff delays must be positive")
         profile = (get_profile(self.profile)
                    if isinstance(self.profile, str) else self.profile)
         if self.scale != 1.0:

@@ -61,6 +61,8 @@ class System:
             self.env.paritysan.attach(self)
         if self.env.bufsan is not None:
             self.env.bufsan.attach(self)
+        if self.env.faults is not None:
+            self.env.faults.attach(self)
 
     # ------------------------------------------------------------------
     # running

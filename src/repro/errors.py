@@ -55,6 +55,23 @@ class DataLoss(FileSystemError):
     tolerant redundancy, or any failure under RAID0)."""
 
 
+class RpcTimeout(ServerFailed):
+    """A client RPC exceeded its per-request deadline.
+
+    Subclasses :class:`ServerFailed` so a timed-out server rides the same
+    degraded-mode machinery (suspect lists, degraded reads, tolerant
+    writes) as an explicitly failed one.
+    """
+
+
+class DiskFault(FileSystemError):
+    """An injected disk error (the simulated medium returned EIO)."""
+
+
+class FaultPlanError(ConfigError):
+    """A fault plan is malformed or references unknown triggers/targets."""
+
+
 class InconsistentRedundancy(FileSystemError):
     """A scrub detected redundancy (mirror/parity) inconsistent with data."""
 

@@ -1,0 +1,47 @@
+"""Deterministic fault injection for the CSAR reproduction.
+
+The package has three layers:
+
+* :mod:`repro.faults.plan` — declarative, JSON-serializable **fault
+  plans**: what to break (server crash, transient crash-with-restart,
+  message drop/delay/duplication, slow/erroring disk, torn block
+  write) and when (a sim time, an op ordinal, or a named protocol
+  step).  Plans are sampled seed-deterministically and round-trip
+  through the same ``schema_version``-guarded JSON convention as the
+  explorer's ``.sched`` files.
+* :mod:`repro.faults.injector` — the runtime that arms a plan inside a
+  simulation.  It is installed through the engine's factory-hook idiom
+  (:func:`repro.sim.engine.set_fault_factory`) so the engine never
+  imports this package; hook points in ``hw.link``, ``hw.disk``,
+  ``storage.blockfile``, ``pvfs.iod`` and the redundancy schemes
+  consult ``env.faults`` when present and cost nothing when not.
+* :mod:`repro.faults.runner` — the chaos campaign behind
+  ``csar-repro chaos``: samples plans, runs content-mode workloads
+  under all three sanitizers, and checks the differential oracle plus
+  the durability invariant.
+"""
+
+from repro.faults.plan import (
+    PLAN_SCHEMA_VERSION,
+    STEP_NAMES,
+    FaultPlan,
+    FaultSpec,
+    Trigger,
+    load_plan,
+    sample_plan,
+)
+from repro.faults.injector import FaultInjector, fault_step, install, uninstall
+
+__all__ = [
+    "PLAN_SCHEMA_VERSION",
+    "STEP_NAMES",
+    "FaultPlan",
+    "FaultSpec",
+    "Trigger",
+    "FaultInjector",
+    "fault_step",
+    "install",
+    "uninstall",
+    "load_plan",
+    "sample_plan",
+]

@@ -50,6 +50,18 @@ class Disk:
             yield req
             sequential = self._sequential(file_id, offset)
             duration = self.params.io_time(nbytes, sequential)
+            faults = self.env.faults
+            if faults is not None:
+                action = faults.disk_action(self)
+                if action is not None:
+                    if action[0] == "error":
+                        # Injected EIO: the injector has already panicked
+                        # the owning server; abort the handler's request.
+                        from repro.errors import DiskFault
+
+                        raise DiskFault(
+                            f"{self.node_name}: injected disk error")
+                    duration *= action[1]
             yield self.env.timeout(duration)
             self._head = (file_id, offset + nbytes)
             self.busy_time += duration

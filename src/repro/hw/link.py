@@ -37,14 +37,30 @@ class NIC:
         self.rx = Resource(env, capacity=1)
 
 
-def transfer(env: Environment, src: NIC, dst: NIC, nbytes: int,
-             metrics: Optional[Metrics] = None) -> Generator[Event, Any, None]:
-    """Process body: move ``nbytes`` from ``src``'s node to ``dst``'s node.
+def _apply_link_fault(env: Environment, action: tuple, src: NIC, dst: NIC,
+                      nbytes: int) -> Generator[Event, Any, None]:
+    """Apply an injected message fault (see :mod:`repro.faults`).
 
-    Use as ``yield env.process(transfer(...))`` or ``yield from transfer(...)``.
+    ``drop`` parks forever — the message silently never arrives, and
+    only a client RPC timeout rescues the waiter.  ``delay`` stalls the
+    message before it takes the wire.  ``dup`` sends the bytes across
+    the wire twice (the duplicate burns occupancy; end-to-end
+    duplicate *delivery* is exercised by retry-after-delay instead,
+    since retried idempotent RPCs really do arrive twice).
     """
-    if nbytes < 0:
-        raise ValueError(f"negative transfer size {nbytes}")
+    kind = action[0]
+    if kind == "drop":
+        yield env.event()  # black hole: nothing ever triggers this
+    elif kind == "delay":
+        yield env.timeout(action[1])
+    elif kind == "dup":
+        yield from _transfer_timed(env, src, dst, nbytes, None)
+
+
+def _transfer_timed(env: Environment, src: NIC, dst: NIC, nbytes: int,
+                    metrics: Optional[Metrics],
+                    ) -> Generator[Event, Any, None]:
+    """The fault-free wire movement shared by :func:`transfer`/:func:`stream`."""
     if src is dst:
         # Loopback (e.g. a client co-located with an I/O server): charge
         # only the per-message overhead, no wire time.
@@ -61,6 +77,22 @@ def transfer(env: Environment, src: NIC, dst: NIC, nbytes: int,
     if metrics is not None:
         metrics.record_tx(src.node_name, nbytes)
         metrics.record_rx(dst.node_name, nbytes)
+
+
+def transfer(env: Environment, src: NIC, dst: NIC, nbytes: int,
+             metrics: Optional[Metrics] = None) -> Generator[Event, Any, None]:
+    """Process body: move ``nbytes`` from ``src``'s node to ``dst``'s node.
+
+    Use as ``yield env.process(transfer(...))`` or ``yield from transfer(...)``.
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative transfer size {nbytes}")
+    faults = env.faults
+    if faults is not None:
+        action = faults.link_action(src, dst, nbytes)
+        if action is not None:
+            yield from _apply_link_fault(env, action, src, dst, nbytes)
+    yield from _transfer_timed(env, src, dst, nbytes, metrics)
 
 
 def stream(env: Environment, src: NIC, dst: NIC, nbytes: int,
@@ -81,6 +113,14 @@ def stream(env: Environment, src: NIC, dst: NIC, nbytes: int,
     if nbytes <= 0 or cpu is None:
         yield from transfer(env, src, dst, nbytes, metrics)
         return
+    # One fault consult per *message*: the segment loop below moves
+    # pieces of a single logical transfer, so drop/delay/dup apply to
+    # the whole message, not per segment.
+    faults = env.faults
+    if faults is not None:
+        action = faults.link_action(src, dst, nbytes)
+        if action is not None:
+            yield from _apply_link_fault(env, action, src, dst, nbytes)
     segment = src.params.segment
     sizes = [segment] * (nbytes // segment)
     if nbytes % segment:
@@ -92,7 +132,7 @@ def stream(env: Environment, src: NIC, dst: NIC, nbytes: int,
 
     def wire_stage():
         for size in sizes:
-            yield from transfer(env, src, dst, size, None)
+            yield from _transfer_timed(env, src, dst, size, None)
             queue.put(size)
 
     def cpu_stage():
@@ -111,7 +151,7 @@ def stream(env: Environment, src: NIC, dst: NIC, nbytes: int,
         def src_wire_stage():
             for _ in sizes:
                 size = yield queue.get()
-                yield from transfer(env, src, dst, size, None)
+                yield from _transfer_timed(env, src, dst, size, None)
 
         stages = [env.process(src_cpu_stage()), env.process(src_wire_stage())]
     else:

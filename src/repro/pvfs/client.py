@@ -12,9 +12,10 @@ PVFS code.
 from __future__ import annotations
 
 import itertools
+from random import Random
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError, ServerFailed
+from repro.errors import ReproError, RpcTimeout, ServerFailed
 from repro.hw.link import stream, transfer
 from repro.hw.node import Node
 from repro.metrics import Metrics
@@ -47,6 +48,10 @@ class PVFSClient:
         #: straight to reconstruction (fail-fast); cleared on rebuild
         self.suspected: set = set()
         self._scheme_cache: Dict[str, object] = {}
+        #: seeded jitter source for retry backoff — sim-deterministic,
+        #: de-phased across clients by mixing in the client index
+        self._retry_rng = Random(
+            getattr(scheme.config, "rpc_jitter_seed", 0) * 1000003 + index)
 
     # ------------------------------------------------------------------
     # plumbing
@@ -62,6 +67,10 @@ class PVFSClient:
         server-reported error, so callers see
         :class:`~repro.errors.ServerFailed` and friends as exceptions.
         """
+        config = self.scheme.config
+        if getattr(config, "rpc_timeout", None) is not None \
+                and hasattr(target, "failed"):
+            return (yield from self._rpc_hardened(target, request, config))
         wire = request.wire_size()
         if wire > msg.HEADER and hasattr(target, "failed") and not target.failed:
             yield from stream(self.env, self.node.nic, target.node.nic,
@@ -81,6 +90,103 @@ class PVFSClient:
                 self.suspected.add(target.index)
             raise error
         return response
+
+    # ------------------------------------------------------------------
+    # hardened RPC: deadlines, bounded backoff, failover
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _idempotent(request) -> bool:
+        """May this request be safely delivered more than once?
+
+        Plain reads and in-place writes are idempotent (same bytes to
+        the same place); so are mirror resolves and fsyncs.  Parity
+        reads are idempotent only when they do not carry a lock
+        acquisition, and everything that mutates protocol state (lock
+        messages, parity writes with their release, overflow appends —
+        a second append would allocate a second slot) must never be
+        retried blind.
+        """
+        if type(request) in (msg.ReadReq, msg.WriteReq,
+                             msg.MirrorResolveReq, msg.FsyncReq):
+            return True
+        if type(request) is msg.ParityReadReq:
+            return not request.lock
+        return False
+
+    def _rpc_attempt(self, target, request,
+                     ) -> Generator[Event, Any,
+                                    Tuple[Any, Optional[Exception]]]:
+        """One send + reply wait as a spawnable process.
+
+        Never raises: the hardened path races this against a deadline,
+        and an abandoned attempt that fails later must not poison the
+        run with an unobserved event failure.
+        """
+        try:
+            wire = request.wire_size()
+            if wire > msg.HEADER and not target.failed:
+                yield from stream(self.env, self.node.nic, target.node.nic,
+                                  wire, self.metrics, cpu=target.node.cpu,
+                                  cpu_at="dst")
+            else:
+                yield from transfer(self.env, self.node.nic, target.node.nic,
+                                    wire, self.metrics)
+            done = self.env.event()
+            target.inbox.put((request, self.node.nic, done))
+            response = yield done
+        except ReproError as exc:
+            return (None, exc)
+        error = getattr(response, "error", None)
+        if error is not None:
+            return (None, error)
+        return (response, None)
+
+    def _rpc_hardened(self, target, request, config,
+                      ) -> Generator[Event, Any, Any]:
+        """RPC with a per-request deadline and bounded retry.
+
+        Timeouts surface as :class:`~repro.errors.RpcTimeout` — a
+        :class:`ServerFailed` — so an unresponsive server rides the
+        same failover machinery as a crashed one: it joins
+        ``self.suspected``, reads reconstruct around it through the
+        scheme's degraded path, and tolerant writes record a degraded
+        write instead of blocking forever.  Suspected servers fail
+        fast without touching the wire; the suspicion is cleared only
+        by a rebuild, so a restarted-but-stale server is quarantined
+        until recovery has made it consistent.
+        """
+        if target.index in self.suspected:
+            self.metrics.add("client.failfast_rpcs")
+            raise ServerFailed(f"iod{target.index} suspected")
+        retries = config.rpc_retries if self._idempotent(request) else 0
+        attempt = 0
+        while True:
+            proc = self.env.process(self._rpc_attempt(target, request),
+                                    name=f"client{self.index}.rpc")
+            deadline = self.env.timeout(config.rpc_timeout)
+            yield self.env.any_of([proc, deadline])
+            if proc.triggered:
+                response, error = proc.value
+                if error is None:
+                    return response
+                if isinstance(error, ServerFailed):
+                    self.suspected.add(target.index)
+                raise error
+            # Deadline hit: the attempt is abandoned (a late reply is
+            # consumed by the guarded process and discarded).
+            self.metrics.add("client.rpc_timeouts")
+            if attempt >= retries:
+                self.suspected.add(target.index)
+                raise RpcTimeout(
+                    f"iod{target.index} did not answer "
+                    f"{type(request).__name__} within "
+                    f"{config.rpc_timeout:g}s "
+                    f"({attempt + 1} attempt(s))")
+            backoff = min(config.rpc_backoff_cap,
+                          config.rpc_backoff_base * (2 ** attempt))
+            yield self.env.timeout(
+                backoff + self._retry_rng.uniform(0.0, backoff))
+            attempt += 1
 
     def parallel(self, gens: List) -> Generator[Event, Any, List[Any]]:
         """Run generators concurrently; fail fast on the first error."""
@@ -298,7 +404,15 @@ class PVFSClient:
             meta, error = yield open_proc
             if error is not None:
                 raise error
-        yield from self.scheme_for(meta).write(self, meta, offset, payload)
+        # Register with the cluster write ledger so an online rebuild
+        # sees this write: re-copy the file after it settles, and hold
+        # the rebuilt server offline until in-flight writes drain.
+        token = self.manager.write_ledger.begin(name)
+        try:
+            yield from self.scheme_for(meta).write(self, meta, offset,
+                                                   payload)
+        finally:
+            self.manager.write_ledger.end(token)
         end = offset + payload.length
         if end > meta.size:
             meta.size = end

@@ -19,14 +19,15 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Tuple
 
-from repro.errors import ProtocolError, ServerFailed
+from repro.errors import DiskFault, ProtocolError, ServerFailed
+from repro.faults.injector import fault_step
 from repro.hw.link import stream, transfer
 from repro.hw.node import Node
 from repro.metrics import Metrics
 from repro.pvfs import messages as msg
 from repro.redundancy.locks import ParityLockTable
 from repro.redundancy.overflow import OverflowTable
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment, Event, Interrupt
 from repro.sim.resources import Store
 from repro.storage.localfs import LocalFS
 from repro.storage.payload import Payload
@@ -64,21 +65,47 @@ class IOD:
         self.stripe_unit = stripe_unit
         self.fs = LocalFS(node, content_mode=content_mode,
                           write_buffering=write_buffering)
+        self.fs.owner = index
         self.locks = ParityLockTable(env, enabled=locking)
+        #: handler processes currently serving requests; a crash must
+        #: error these out rather than let them run to a success reply
+        self._inflight: set = set()
         #: Hybrid overflow tables: file -> table
         self.overflow: Dict[str, OverflowTable] = {}
         #: overflow mirror tables: (file, origin server) -> table
         self.overflow_mirror: Dict[Tuple[str, int], OverflowTable] = {}
         self.inbox = Store(env)
         self.failed = False
+        #: an online rebuild is staging this server's state; an injected
+        #: restart must not flip ``failed`` back mid-rebuild
+        self.rebuilding = False
         self._server_proc = env.process(self._serve(), name=f"iod{index}")
 
     # ------------------------------------------------------------------
     # failure injection
     # ------------------------------------------------------------------
     def fail(self) -> None:
-        """Fail-stop this server; requests are rejected until repair."""
+        """Fail-stop this server; requests are rejected until repair.
+
+        A crash must not wedge the cluster: every in-flight handler is
+        errored out (its client sees the connection drop as
+        :class:`ServerFailed` instead of waiting forever), and the
+        parity-lock table is crashed — held locks are forgotten with
+        the sanitizer notified, queued waiters are woken by their
+        handler's interrupt and cancel themselves — so no other
+        client's read-modify-write can stay stuck in the FIFO queue
+        behind a dead lock holder.
+        """
         self.failed = True
+        active = self.env.active_process
+        for proc in list(self._inflight):
+            # The crash may be triggered synchronously from inside one
+            # of our own handlers (disk error, torn write, an injected
+            # protocol-step fault): that handler aborts itself by
+            # raising, and a process cannot interrupt itself anyway.
+            if proc is not active and proc.is_alive:
+                proc.interrupt(ServerFailed(f"iod{self.index} crashed"))
+        self.locks.crash()
 
     def repair(self, wipe: bool = True) -> None:
         """Bring the server back, optionally with a fresh (empty) disk."""
@@ -94,31 +121,48 @@ class IOD:
     def _serve(self) -> Generator[Event, Any, None]:
         while True:
             envelope = yield self.inbox.get()
-            self.env.process(self._handle(envelope),
-                             name=f"iod{self.index}.handler")
+            proc = self.env.process(self._handle(envelope),
+                                    name=f"iod{self.index}.handler")
+            if proc.is_alive:
+                self._inflight.add(proc)
+                proc.callbacks.append(self._retire)
+
+    def _retire(self, proc) -> None:
+        self._inflight.discard(proc)
 
     def _handle(self, envelope) -> Generator[Event, Any, None]:
         request, reply_nic, done = envelope
-        if self.failed:
-            response = msg.Response(error=ServerFailed(
-                f"iod{self.index} is failed"))
-        else:
-            yield from self.node.cpu.request_processing()
-            try:
-                response = yield from self._dispatch(request)
-            except (ProtocolError, ValueError) as exc:
-                response = msg.Response(error=exc)
-        reply_bytes = (request.reply_size() if response.error is None
-                       else msg.HEADER)
-        if reply_bytes > msg.HEADER:
-            # Data-bearing reply: per-byte send cost overlaps the wire.
-            yield from stream(self.env, self.node.nic, reply_nic,
-                              reply_bytes, self.metrics, cpu=self.node.cpu,
-                              cpu_at="src")
-        else:
-            yield from transfer(self.env, self.node.nic, reply_nic,
-                                reply_bytes, self.metrics)
-        done.succeed(response)
+        try:
+            if self.failed:
+                response = msg.Response(error=ServerFailed(
+                    f"iod{self.index} is failed"))
+            else:
+                yield from self.node.cpu.request_processing()
+                try:
+                    response = yield from self._dispatch(request)
+                except (ProtocolError, ValueError, ServerFailed) as exc:
+                    response = msg.Response(error=exc)
+                except DiskFault as exc:
+                    # EIO is fatal (the injector panicked us already);
+                    # the request that hit it reports the crash.
+                    response = msg.Response(error=ServerFailed(str(exc)))
+            reply_bytes = (request.reply_size() if response.error is None
+                           else msg.HEADER)
+            if reply_bytes > msg.HEADER:
+                # Data-bearing reply: per-byte send cost overlaps the wire.
+                yield from stream(self.env, self.node.nic, reply_nic,
+                                  reply_bytes, self.metrics,
+                                  cpu=self.node.cpu, cpu_at="src")
+            else:
+                yield from transfer(self.env, self.node.nic, reply_nic,
+                                    reply_bytes, self.metrics)
+            done.succeed(response)
+        except Interrupt:
+            # The daemon crashed under this request: the client sees the
+            # connection drop immediately rather than waiting forever.
+            if not done.triggered:
+                done.succeed(msg.Response(error=ServerFailed(
+                    f"iod{self.index} crashed mid-request")))
 
     def _dispatch(self, request: msg.Request,
                   ) -> Generator[Event, Any, msg.Response]:
@@ -253,6 +297,11 @@ class IOD:
                 table = self.overflow[request.file] = \
                     OverflowTable(self.stripe_unit)
             name = ovf_file(request.file)
+        # Named crash points for the fault matrix: a failure here leaves
+        # the overflow append torn between the table and its mirror.
+        fault_step(self.env, "iod.overflow.before_append", self.index)
+        if self.failed:
+            raise ServerFailed(f"iod{self.index} crashed")
         cursor = 0
         parts = []
         for start, end in request.ranges:
@@ -264,6 +313,9 @@ class IOD:
         # One vectored local write: the scattered append slots charge the
         # cache in a single pass and the slices land without flattening.
         yield from self.fs.write_gather(name, parts)
+        fault_step(self.env, "iod.overflow.after_append", self.index)
+        if self.failed:
+            raise ServerFailed(f"iod{self.index} crashed")
         self.metrics.add("hybrid.overflow_write_bytes", cursor)
         return msg.Response()
 

@@ -31,6 +31,56 @@ class FileMeta:
     size: int = 0  # logical EOF, maintained as clients complete writes
 
 
+class WriteLedger:
+    """Cluster-wide registry of writes in flight.
+
+    Every client write registers here (``begin``/``end``), so an online
+    rebuild (:func:`repro.redundancy.recovery.rebuild_server`) can (a)
+    learn which files were modified while it was copying them — its
+    *watchers* get ``note_write(name)`` at write completion, when the
+    survivors hold the settled bytes — and (b) wait for the cluster to
+    quiesce before bringing the rebuilt server live, so no write that
+    started while the server was down can complete after it rejoined
+    (such a write skips the "failed" server and would leave it stale).
+    """
+
+    def __init__(self) -> None:
+        self._active: Dict[int, str] = {}
+        self._next = 0
+        self._waiters: list = []
+        #: rebuild trackers; each gets ``note_write(name)`` per completion
+        self.watchers: list = []
+
+    @property
+    def active(self) -> int:
+        """Number of client writes currently in flight."""
+        return len(self._active)
+
+    def begin(self, name: str) -> int:
+        self._next += 1
+        self._active[self._next] = name
+        return self._next
+
+    def end(self, token: int) -> None:
+        name = self._active.pop(token)
+        for watcher in list(self.watchers):
+            watcher.note_write(name)
+        if not self._active:
+            waiters, self._waiters = self._waiters, []
+            for event in waiters:
+                if not event.triggered:
+                    event.succeed()
+
+    def quiesce_event(self, env: Environment) -> Event:
+        """An event that fires when no write is in flight."""
+        event = env.event()
+        if not self._active:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+
 class Manager:
     """The metadata daemon."""
 
@@ -42,6 +92,7 @@ class Manager:
         self.layout = layout
         self.scheme = scheme
         self.files: Dict[str, FileMeta] = {}
+        self.write_ledger = WriteLedger()
         self.inbox = Store(env)
         env.process(self._serve(), name="manager")
 

@@ -107,6 +107,34 @@ class ParityLockTable:
         if san is not None:
             san.on_released(file, group, xid)
 
+    def crash(self) -> None:
+        """Server crash: forget every held lock.
+
+        A parity lock is protocol-carried — acquired by one handler
+        process (the parity read) and released by another (the parity
+        write) — so no live process "owns" it and interrupting handlers
+        cannot free it.  On a fail-stop crash the server's lock state
+        simply ceases to exist: drop every held entry (telling the
+        sanitizer, so LockSan sees a release rather than a leak) and
+        drop the lock objects.  Queued *waiters* are handler processes
+        of this same server; :meth:`IOD.fail` interrupts them, and
+        :meth:`acquire`'s cancellation path cleans each queued request
+        out of its (now orphaned) lock.
+        """
+        if not self.enabled:
+            self._held.clear()
+            self._locks.clear()
+            return
+        san = self._san
+        for (file, group, xid), request in list(self._held.items()):
+            del self._held[(file, group, xid)]
+            if san is not None:
+                # Both ledgers: the protocol-level hold and the raw
+                # FifoLock grant that feeds the leak sweep.
+                san.on_released(file, group, xid)
+                san.on_lock_released(request.resource, request)
+        self._locks.clear()
+
     # ------------------------------------------------------------------
     def is_locked(self, file: str, group: int) -> bool:
         lock = self._locks.get((file, group))

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import ServerFailed
+from repro.faults.injector import fault_step
 from repro.pvfs import messages as msg
 from repro.pvfs.layout import ServerRange
 from repro.redundancy import base
@@ -172,6 +173,7 @@ class Raid5(base.RedundancyScheme):
                 meta, start, payload.length,
                 {server: req for server, req in data_requests},
                 parity_requests)
+        fault_step(client.env, "raid5.full_stripe.before_write", None)
         calls = [client.rpc(client.iods[s], r) for s, r in data_requests]
         targets = [s for s, _r in data_requests]
         calls += [client.rpc(client.iods[s], r)
@@ -243,6 +245,7 @@ class Raid5(base.RedundancyScheme):
         own_lock = not (self.config.strict_locking and self.config.locking)
         if gate is not None:
             yield gate
+        fault_step(client.env, "raid5.rmw.before_parity_read", p_server)
         try:
             parity_response = yield from client.rpc(
                 client.iods[p_server],
@@ -268,8 +271,10 @@ class Raid5(base.RedundancyScheme):
             if not parity_read_done.triggered:
                 parity_read_done.succeed()
 
+        fault_step(client.env, "raid5.rmw.after_parity_read", p_server)
         outcomes = yield old_data_proc
         old_chunks = []
+        old_errors: List[Optional[Exception]] = [e for _v, e in outcomes]
         for sr, (response, error) in zip(ranges, outcomes):
             if error is None:
                 old_chunks.append(response.payload)
@@ -306,6 +311,7 @@ class Raid5(base.RedundancyScheme):
                           if new_parity.is_virtual
                           else Payload.zeros(intra_hi - intra_lo))
 
+        fault_step(client.env, "raid5.rmw.before_writeback", p_server)
         calls = [client.rpc(client.iods[sr.server], msg.WriteReq(
                     meta.name, kind="data", offset=sr.local_start,
                     payload=self._gather(new_data, lo, sr), xid=xid))
@@ -316,7 +322,28 @@ class Raid5(base.RedundancyScheme):
             intra=(intra_lo, intra_hi), payload=new_parity,
             unlock=self._rmw_unlock(own_lock), xid=xid)))
         targets.append(p_server)
-        yield from self._tolerant_parallel(client, targets, calls)
+        wb_outcomes = yield from self._tolerant_parallel(client, targets,
+                                                         calls)
+        yield from self._writeback_outcome(
+            client, meta, group, ranges, old_errors, old_chunks,
+            new_data, lo, (intra_lo, intra_hi), wb_outcomes, xid)
+        fault_step(client.env, "raid5.rmw.after_writeback", p_server)
+
+    def _writeback_outcome(self, client, meta, group: int, ranges,
+                           old_errors, old_chunks, new_data: Payload,
+                           base_lo: int, intra: Tuple[int, int], outcomes,
+                           xid: int) -> Generator[Event, Any, None]:
+        """Seam: inspect the RMW writeback's per-call outcomes.
+
+        ``outcomes`` pairs up with the data writes (one per server
+        range) followed by the parity write; ``old_errors`` /
+        ``old_chunks`` are the per-range results of the old-data reads.
+        The real scheme needs no reaction — a single failed data write
+        is already covered by the folded parity — so this is a no-op; a
+        seam for fault-injecting subclasses
+        (:mod:`repro.analysis.seeded_bugs`)."""
+        return
+        yield  # pragma: no cover - makes this a generator
 
     # ------------------------------------------------------------------
     # degraded read: XOR the surviving blocks and the parity

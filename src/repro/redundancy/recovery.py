@@ -48,6 +48,26 @@ def _server_local_size(system, name: str, server: int) -> int:
     return rows * lay.unit
 
 
+class _RebuildTracker:
+    """Collects the names of files written while a rebuild is copying.
+
+    Registered as a :class:`~repro.pvfs.manager.WriteLedger` watcher;
+    notifications arrive at write *completion*, when the survivors hold
+    the settled bytes, so a re-copy of a dirty file always observes a
+    state at least as new as the write that dirtied it.
+    """
+
+    def __init__(self) -> None:
+        self.dirty: set = set()
+
+    def note_write(self, name: str) -> None:
+        self.dirty.add(name)
+
+    def drain(self) -> set:
+        dirty, self.dirty = self.dirty, set()
+        return dirty
+
+
 def rebuild_server(system, index: int,
                    recovery_client: int = 0) -> Generator[Event, Any, None]:
     """Process body: repair server ``index`` in place from survivors.
@@ -56,6 +76,17 @@ def rebuild_server(system, index: int,
     all local files reconstructed.  Raises
     :class:`~repro.errors.ConfigError` for RAID0 (nothing to rebuild
     from).
+
+    The rebuild is safe under concurrent client traffic: writes issued
+    while it runs go down the degraded path (they skip the failed
+    server), and the cluster :class:`~repro.pvfs.manager.WriteLedger`
+    reports every completed write to this rebuild, which then re-copies
+    the dirtied files.  The loop converges because each re-copy reads a
+    strictly newer settled state; the server is only brought live — a
+    synchronous flip, with zero sim-time between the final clean check
+    and the flip — once no file is dirty *and* no write is in flight
+    (an in-flight write saw the server as failed and would leave it
+    stale if it completed after the rejoin).
     """
     if all(meta.scheme == "raid0"
            for meta in system.manager.files.values()) \
@@ -66,14 +97,37 @@ def rebuild_server(system, index: int,
         raise ServerFailed(f"server {index} is not failed; refusing rebuild")
     client = system.clients[recovery_client]
     names = list(system.manager.files)
+    ledger = system.manager.write_ledger
+    tracker = _RebuildTracker()
+    ledger.watchers.append(tracker)
 
     # Stage the reconstructed state while the daemon still rejects I/O.
+    iod.rebuilding = True
     iod.repair(wipe=True)
     iod.fail()
     try:
         for name in names:
             yield from _rebuild_file(system, client, iod, name)
+        # Converge under concurrent traffic: re-copy files written while
+        # we were copying, then wait out in-flight writes (which may
+        # dirty more files when they complete), until both are clean.
+        while True:
+            dirty = tracker.drain()
+            if dirty:
+                system.metrics.add("recovery.dirty_passes")
+                for name in sorted(dirty):
+                    if name not in system.manager.files:
+                        continue
+                    _reset_local_overflow(system, iod, name)
+                    yield from _rebuild_file(system, client, iod, name)
+                continue
+            if ledger.active:
+                yield ledger.quiesce_event(system.env)
+                continue
+            break
     finally:
+        ledger.watchers.remove(tracker)
+        iod.rebuilding = False
         iod.failed = False
         for c in system.clients:
             c.suspected.discard(index)
@@ -82,6 +136,17 @@ def rebuild_server(system, index: int,
         system.env.paritysan.on_recovery(index)
     if system.env.bufsan is not None:
         system.env.bufsan.on_recovery(index)
+
+
+def _reset_local_overflow(system, iod: IOD, name: str) -> None:
+    """Drop the rebuilt server's overflow state for one file before a
+    re-copy: the replay in :func:`_rebuild_overflow` appends from a
+    fresh table, so stale allocations from the previous pass must not
+    survive (the table is authoritative — orphaned ``.ovf`` bytes past
+    the new allocation are unreachable)."""
+    iod.overflow.pop(name, None)
+    predecessor = (iod.index - 1) % system.layout.n
+    iod.overflow_mirror.pop((name, predecessor), None)
 
 
 def _rebuild_file(system, client, iod: IOD,

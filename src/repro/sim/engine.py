@@ -100,6 +100,24 @@ def bufsan_factory() -> Optional[Callable[[], Any]]:
     return _bufsan_factory
 
 
+#: Optional factory installed by :func:`repro.faults.injector.install`;
+#: called once per new :class:`Environment` to build its fault injector
+#: (:mod:`repro.faults`).  Same engine-never-imports-the-hook idiom as
+#: the sanitizer factories: hook points elsewhere consult
+#: ``env.faults`` and cost one ``None``-check when no plan is armed.
+_fault_factory: Optional[Callable[[], Any]] = None
+
+
+def set_fault_factory(factory: Optional[Callable[[], Any]]) -> None:
+    """Install (or, with ``None``, remove) the fault-injector factory."""
+    global _fault_factory
+    _fault_factory = factory
+
+
+def fault_factory() -> Optional[Callable[[], Any]]:
+    return _fault_factory
+
+
 #: Optional factory for a tie-break scheduler (schedule exploration,
 #: :mod:`repro.analysis.explore`): called once per new
 #: :class:`Environment`; the returned object's ``choose(when, priority,
@@ -449,6 +467,10 @@ class Environment:
         #: BufSan (or compatible) buffer-identity sanitizer.
         self.bufsan: Optional[Any] = (
             _bufsan_factory() if _bufsan_factory is not None else None)
+        #: Fault injector (:mod:`repro.faults`); ``None`` unless a plan
+        #: is armed.
+        self.faults: Optional[Any] = (
+            _fault_factory() if _fault_factory is not None else None)
         #: Tie-break scheduler for schedule exploration; ``None`` keeps
         #: deterministic seq order.
         self._tie_breaker: Optional[Any] = (

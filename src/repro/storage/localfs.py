@@ -39,6 +39,9 @@ class LocalFS:
         self.content_mode = content_mode
         self.write_buffering = write_buffering
         self.files: Dict[str, BlockFile] = {}
+        #: Owning I/O server index (set by the daemon); stamped onto
+        #: every block file so fault injection can target this server.
+        self.owner = None
 
     # ------------------------------------------------------------------
     def _get(self, name: str, create: bool = False) -> BlockFile:
@@ -47,6 +50,7 @@ class LocalFS:
             if not create:
                 raise FileNotFound(f"{self.node.name}:{name}")
             f = BlockFile(name, self.content_mode)
+            f.owner = self.owner
             self.files[name] = f
         return f
 
